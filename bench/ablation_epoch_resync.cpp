@@ -1,0 +1,85 @@
+// Experiment E12 — Ablation: epoch-based virtual-clock resynchronization
+// (Sec. IV-A).
+//
+// virt(instr) drifts from real time when the machine's instruction rate
+// differs from the slope's assumption. The optional epoch mechanism
+// exchanges (D_k, R_k) reports, picks the median, and rebases the clock
+// with a clamped slope. Smaller epochs track real time better — but the
+// paper warns that tighter coupling to real time risks re-opening the
+// timing channel; "virt should be adjusted ... only with large I values".
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace stopwatch;
+using namespace stopwatch::bench;
+
+namespace {
+
+struct Outcome {
+  double drift_s{0};
+  long obs99{0};
+  std::uint64_t clean_divergences{0};
+  std::uint64_t victim_divergences{0};
+};
+
+Outcome evaluate(bool resync, std::uint64_t epoch_instr) {
+  TimingScenarioConfig base;
+  base.run_time = Duration::seconds(30);
+  base.seed = 51;
+  base.epoch_resync = resync;
+  base.epoch_instr = epoch_instr;
+  // The machines run 6% faster than the initial slope assumes, so the
+  // uncorrected virtual clock drifts ahead of real time.
+  base.base_ips = 1.06e9;
+  base.slope_min = 0.80;
+  base.slope_max = 1.20;
+
+  TimingScenarioConfig clean = base;
+  clean.victim_present = false;
+  TimingScenarioConfig vic = base;
+  vic.victim_present = true;
+
+  const auto r_clean = run_timing_scenario(clean);
+  const auto r_vic = run_timing_scenario(vic);
+  Outcome out;
+  out.drift_s = r_clean.clock_drift_s;
+  out.obs99 = make_detector(r_clean.inter_arrival_ms, r_vic.inter_arrival_ms)
+                  .observations_needed(0.99);
+  out.clean_divergences = r_clean.divergences;
+  out.victim_divergences = r_vic.divergences;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E12: Ablation — epoch resynchronization of virt ===\n");
+  std::printf("(machines run 6%% fast; 30 s runs; drift = |virt - real|)\n\n");
+  std::printf("%16s %16s %20s %14s %14s\n", "epoch I", "drift (s)",
+              "obs needed @0.99", "div (clean)", "div (victim)");
+
+  const Outcome off = evaluate(false, 0);
+  std::printf("%16s %16.3f %20ld %14llu %14llu\n", "disabled", off.drift_s,
+              off.obs99,
+              static_cast<unsigned long long>(off.clean_divergences),
+              static_cast<unsigned long long>(off.victim_divergences));
+  for (std::uint64_t epoch : {100'000'000ULL, 400'000'000ULL, 1'600'000'000ULL}) {
+    const Outcome on = evaluate(true, epoch);
+    std::printf("%13lluM %16.3f %20ld %14llu %14llu\n",
+                static_cast<unsigned long long>(epoch / 1'000'000),
+                on.drift_s, on.obs99,
+                static_cast<unsigned long long>(on.clean_divergences),
+                static_cast<unsigned long long>(on.victim_divergences));
+  }
+
+  std::printf(
+      "\nDesign-choice check: resync bounds the drift that is unbounded\n"
+      "when disabled, at no drift-free divergence (clean column). The\n"
+      "victim column exposes a finding the paper's synchrony assumption\n"
+      "glosses over: a replica marginalized by heavy coresident load cannot\n"
+      "deliver its epoch reports in time, so its peers must skip epochs —\n"
+      "another reason (besides the leak risk of tracking real time) to use\n"
+      "epoch resync only with large I, as Sec. IV-A recommends.\n");
+  return 0;
+}

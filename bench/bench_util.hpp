@@ -1,0 +1,179 @@
+// Shared scenario builders for the experiment harnesses (see DESIGN.md §4).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "hypervisor/guest_context.hpp"
+#include "stats/detection.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/summary.hpp"
+#include "workload/timing.hpp"
+
+namespace stopwatch::bench {
+
+/// Configuration of a Fig. 4-style timing-channel run: an attacker VM whose
+/// deliveries are timed, optionally a file-serving victim VM with exactly
+/// one replica coresident with one attacker replica, and Poisson background
+/// broadcast traffic.
+struct TimingScenarioConfig {
+  bool stopwatch{true};
+  bool victim_present{true};
+  int replica_count{3};
+  double broadcast_rate_hz{80.0};
+  Duration run_time{Duration::seconds(40)};
+  std::uint64_t seed{1};
+  /// Sec. IX collaborating attacker: extra host load injected on the first
+  /// `marginalize_machines` attacker machines.
+  double marginalize_load{0.0};
+  int marginalize_machines{0};
+  hypervisor::AggregationRule aggregation{
+      hypervisor::AggregationRule::kMedian};
+  /// For AggregationRule::kLeader: dictating machine (the victim-coresident
+  /// machine is replica_count - 1 in this scenario's layout).
+  std::uint32_t leader_machine{0};
+  Duration delta_n{Duration::millis(10)};
+  Duration delta_d{Duration::millis(30)};
+  bool epoch_resync{false};
+  std::uint64_t epoch_instr{200'000'000};
+  double base_ips{1e9};
+  double slope_min{0.90};
+  double slope_max{1.10};
+};
+
+struct TimingScenarioResult {
+  /// The attacker's measurement series (guest-clock inter-delivery, ms).
+  std::vector<double> inter_arrival_ms;
+  std::uint64_t divergences{0};
+  std::uint64_t deliveries{0};
+  /// Per-packet proposal spread / median margin across the run (replica 0).
+  std::vector<double> proposal_spread_ms;
+  std::vector<double> median_margin_ms;
+  std::vector<double> disk_margin_ms;
+  /// |virt - real| of attacker replica 0 at the end (seconds).
+  double clock_drift_s{0.0};
+  bool deterministic{true};
+};
+
+inline TimingScenarioResult run_timing_scenario(
+    const TimingScenarioConfig& tc) {
+  core::CloudConfig cfg;
+  cfg.seed = tc.seed;
+  cfg.policy = tc.stopwatch ? core::Policy::kStopWatch
+                            : core::Policy::kBaselineXen;
+  cfg.replica_count = tc.replica_count;
+  // Host-load model for the timing experiments: a bursting coresident
+  // victim visibly perturbs the Dom0 packet path and the vCPU scheduler
+  // (paper Sec. V-B testbed).
+  cfg.machine_template.vmm_load_delay = Duration::millis(3);
+  cfg.machine_template.contention_alpha = 0.8;
+  cfg.machine_template.preempt_wait = Duration::millis(12);
+  cfg.machine_template.preempt_interval_instr = 5'000'000;
+  cfg.machine_template.base_ips = tc.base_ips;
+  cfg.guest_template.delta_n = tc.delta_n;
+  cfg.guest_template.delta_d = tc.delta_d;
+  cfg.guest_template.aggregation = tc.aggregation;
+  cfg.guest_template.leader_machine = tc.leader_machine;
+  cfg.guest_template.epoch_resync = tc.epoch_resync;
+  cfg.guest_template.epoch_instr = tc.epoch_instr;
+  cfg.guest_template.slope_min = tc.slope_min;
+  cfg.guest_template.slope_max = tc.slope_max;
+
+  std::vector<int> attacker_machines;
+  std::vector<int> victim_machines;
+  if (tc.stopwatch) {
+    const int r = tc.replica_count;
+    cfg.machine_count = 2 * r - 1;
+    for (int i = 0; i < r; ++i) attacker_machines.push_back(i);
+    // The victim's replica set overlaps the attacker's in exactly one
+    // machine (vertex-sharing is allowed; edge-disjointness holds).
+    for (int i = r - 1; i < 2 * r - 1; ++i) victim_machines.push_back(i);
+  } else {
+    cfg.machine_count = 1;
+    attacker_machines = {0};
+    victim_machines = {0};
+  }
+
+  core::Cloud cloud(cfg);
+  const core::VmHandle attacker = cloud.add_vm(
+      "attacker",
+      [] { return std::make_unique<workload::AttackerProbeProgram>(); },
+      attacker_machines);
+
+  const NodeId sink =
+      cloud.add_external_node("sink", [](const net::Packet&) {});
+  core::VmHandle victim{};
+  if (tc.victim_present) {
+    workload::VictimServerProgram::Config vc;
+    vc.sink = sink;
+    vc.packets_per_unit = 3;
+    vc.disk_probability = 0.12;
+    vc.disk_bytes = 32 * 1024;
+    victim = cloud.add_vm(
+        "victim",
+        [vc] { return std::make_unique<workload::VictimServerProgram>(vc); },
+        victim_machines);
+  }
+
+  for (int m = 0; m < tc.marginalize_machines && m < cloud.machine_count();
+       ++m) {
+    cloud.machine(m).set_extra_load(tc.marginalize_load);
+  }
+
+  workload::BackgroundBroadcaster bcast(cloud, "bcast",
+                                        cloud.vm_addr(attacker),
+                                        tc.broadcast_rate_hz, tc.seed ^ 0x55);
+  cloud.start();
+  bcast.start();
+  cloud.run_for(tc.run_time);
+  cloud.halt_all();
+
+  TimingScenarioResult result;
+  auto& probe = static_cast<workload::AttackerProbeProgram&>(
+      cloud.replica(attacker, 0).program());
+  result.inter_arrival_ms = probe.inter_arrival_ms();
+  result.divergences = cloud.total_divergences();
+  const auto& s = cloud.replica(attacker, 0).stats();
+  result.deliveries = s.net_deliveries;
+  result.proposal_spread_ms = s.proposal_spread_ms;
+  result.median_margin_ms = s.median_margin_ms;
+  result.disk_margin_ms = tc.victim_present && tc.stopwatch
+                              ? cloud.replica(victim, 0).stats().disk_margin_ms
+                              : s.disk_margin_ms;
+  result.clock_drift_s =
+      std::abs(cloud.replica(attacker, 0).virt_now().to_seconds() -
+               cloud.simulator().now().to_seconds());
+  result.deterministic = cloud.replicas_deterministic(attacker);
+  return result;
+}
+
+/// Observations needed to distinguish two measured series, per confidence.
+inline stats::ChiSquaredDetector make_detector(
+    const std::vector<double>& null_samples,
+    const std::vector<double>& victim_samples) {
+  // Equiprobable-under-null cells: resolution concentrates where the mass
+  // is (the sub-millisecond burst cluster), which is where host contention
+  // shows.
+  return stats::ChiSquaredDetector::from_samples(
+      stats::Ecdf(null_samples), stats::Ecdf(victim_samples), 40,
+      stats::Binning::kEquiprobable);
+}
+
+inline void print_detection_table(const char* title,
+                                  const std::vector<double>& null_samples,
+                                  const std::vector<double>& victim_samples) {
+  const auto det = make_detector(null_samples, victim_samples);
+  std::printf("%s\n", title);
+  std::printf("%12s %22s\n", "confidence", "observations needed");
+  for (const auto& row : det.sweep(stats::paper_confidence_grid())) {
+    std::printf("%12.2f %22ld\n", row.confidence, row.observations_needed);
+  }
+  std::printf("\n");
+}
+
+}  // namespace stopwatch::bench

@@ -1,0 +1,89 @@
+// Experiment E1 — Paper Fig. 1(a,b,c): analytic justification for the median.
+//
+// Baseline replicas observe timings ~ Exp(λ=1); a replica coresident with the
+// victim observes ~ Exp(λ'). We print:
+//  (a) the CDFs of the baseline, victim, median-of-three-baselines, and
+//      median-of-(two baselines + one victim) distributions (λ' = 1/2);
+//  (b) the observations needed to reject the "no victim" null at each
+//      confidence, with and without StopWatch, for λ' = 1/2;
+//  (c) the same for λ' = 10/11.
+#include <cstdio>
+#include <memory>
+
+#include "stats/detection.hpp"
+#include "stats/distribution.hpp"
+#include "stats/order_statistics.hpp"
+
+namespace {
+
+using namespace stopwatch::stats;
+
+struct Curves {
+  std::shared_ptr<Exponential> base;
+  std::shared_ptr<Exponential> victim;
+
+  explicit Curves(double lambda_victim)
+      : base(std::make_shared<Exponential>(1.0)),
+        victim(std::make_shared<Exponential>(lambda_victim)) {}
+
+  [[nodiscard]] double median_three_baselines(double x) const {
+    const double f = base->cdf(x);
+    return median_of_three_cdf(f, f, f);
+  }
+  [[nodiscard]] double median_two_baselines_one_victim(double x) const {
+    return median_of_three_cdf(victim->cdf(x), base->cdf(x), base->cdf(x));
+  }
+};
+
+void print_fig1a(const Curves& c) {
+  std::printf("## Fig 1(a): distribution of median; lambda'=1/2\n");
+  std::printf("%8s %10s %10s %22s %28s\n", "x", "Baseline", "Victim",
+              "Median(3 baselines)", "Median(2 baselines,1 victim)");
+  for (double x = 0.0; x <= 6.0001; x += 0.5) {
+    std::printf("%8.2f %10.4f %10.4f %22.4f %28.4f\n", x, c.base->cdf(x),
+                c.victim->cdf(x), c.median_three_baselines(x),
+                c.median_two_baselines_one_victim(x));
+  }
+  std::printf("\n");
+}
+
+void print_fig1bc(const Curves& c, const char* label) {
+  const ChiSquaredDetector with_sw(
+      [&c](double x) { return c.median_three_baselines(x); },
+      [&c](double x) { return c.median_two_baselines_one_victim(x); }, 0.0,
+      30.0);
+  const ChiSquaredDetector without_sw(
+      [&c](double x) { return c.base->cdf(x); },
+      [&c](double x) { return c.victim->cdf(x); }, 0.0, 30.0);
+
+  std::printf("## Fig 1(%s): observations needed to detect victim\n", label);
+  std::printf("%12s %16s %16s %8s\n", "confidence", "w/ StopWatch",
+              "w/o StopWatch", "ratio");
+  for (double conf : paper_confidence_grid()) {
+    const long with = with_sw.observations_needed(conf);
+    const long without = without_sw.observations_needed(conf);
+    std::printf("%12.2f %16ld %16ld %8.1f\n", conf, with, without,
+                static_cast<double>(with) / static_cast<double>(without));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E1: Fig. 1 — analytic justification for the median ===\n");
+  std::printf("Baseline Exp(lambda=1); victim Exp(lambda')\n\n");
+
+  const Curves far(0.5);
+  print_fig1a(far);
+  print_fig1bc(far, "b; lambda'=1/2");
+
+  const Curves close(10.0 / 11.0);
+  print_fig1bc(close, "c; lambda'=10/11");
+
+  std::printf(
+      "Paper shape check: (b) w/o StopWatch detects with ~1 observation,\n"
+      "w/ StopWatch needs ~2 orders of magnitude more; (c) the gap widens\n"
+      "as the victim's distribution approaches the baseline.\n");
+  return 0;
+}

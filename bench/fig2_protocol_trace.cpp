@@ -1,0 +1,64 @@
+// Experiment E2 — Paper Figs. 2 & 3: the packet-delivery protocol in action.
+// Prints, for the first few inbound packets of a replicated guest, each
+// replica VMM's view: packet arrival (real time), the three proposed
+// virtual delivery times, the adopted median, and the injection point
+// (virtual and real) at the first guest-caused VM exit past the median.
+#include <cstdio>
+#include <memory>
+
+#include "core/cloud.hpp"
+#include "workload/timing.hpp"
+
+using namespace stopwatch;
+
+int main() {
+  std::printf("=== E2: Figs. 2/3 — packet delivery protocol trace ===\n\n");
+
+  core::CloudConfig cfg;
+  cfg.seed = 11;
+  cfg.machine_count = 3;
+  cfg.guest_template.record_packet_traces = true;
+  core::Cloud cloud(cfg);
+
+  const core::VmHandle vm = cloud.add_vm(
+      "guest", [] { return std::make_unique<workload::AttackerProbeProgram>(); },
+      {0, 1, 2});
+  workload::BackgroundBroadcaster bcast(cloud, "sender", cloud.vm_addr(vm),
+                                        6.0, 3);
+  cloud.start();
+  bcast.start();
+  cloud.run_for(Duration::seconds(2));
+  cloud.halt_all();
+
+  for (int r = 0; r < 3; ++r) {
+    const auto& stats = cloud.replica(vm, r).stats();
+    std::printf("Replica %c (machine %d):\n", 'A' + r, r);
+    int shown = 0;
+    for (const auto& tr : stats.packet_traces) {
+      if (++shown > 3) break;
+      std::printf("  packet #%llu\n",
+                  static_cast<unsigned long long>(tr.copy_seq));
+      std::printf("    arrival at VMM (real):        %10.3f ms\n",
+                  tr.arrival_real_ms);
+      for (const auto& [machine, virt_ms] : tr.proposals_ms) {
+        std::printf("    proposal from machine %u:      %10.3f ms (virtual)\n",
+                    machine, virt_ms);
+      }
+      std::printf("    median adopted:               %10.3f ms (virtual)\n",
+                  tr.chosen_delivery_virt_ms);
+      std::printf("    injected at guest exit:       %10.3f ms (virtual), "
+                  "%10.3f ms (real)\n",
+                  tr.inject_virt_ms, tr.inject_real_ms);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Invariant checks: all replicas adopt the same median and inject at\n"
+      "the same virtual time; injection happens at the first guest-caused\n"
+      "VM exit whose virtual time passes the median (Sec. V).\n");
+  std::printf("replica determinism: %s, divergences: %llu\n",
+              cloud.replicas_deterministic(vm) ? "OK" : "VIOLATED",
+              static_cast<unsigned long long>(cloud.total_divergences()));
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Experiment E3 — Paper Fig. 4(a,b): measured virtual inter-packet delivery
+// times at an attacker VM, with one replica coresident with a file-serving
+// victim ("two baselines, one victim") versus no victim ("three baselines"),
+// plus the chi-squared observations-needed comparison against unmodified
+// Xen ("w/o StopWatch").
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace stopwatch;
+using namespace stopwatch::bench;
+
+namespace {
+
+void print_cdf(const char* title, const stats::Ecdf& no_victim,
+               const stats::Ecdf& with_victim) {
+  std::printf("%s\n", title);
+  std::printf("%16s %24s %30s\n", "inter-delivery(ms)",
+              "Median of three baselines", "Median of two baselines,1 victim");
+  for (double q :
+       {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}) {
+    std::printf("   CDF=%4.2f  %17.3f %26.3f\n", q, no_victim.quantile(q),
+                with_victim.quantile(q));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E3: Fig. 4 — measured inter-packet delivery times ===\n");
+  std::printf(
+      "Attacker VM triple; victim file server coresident with one replica;\n"
+      "~80 pkt/s background broadcast traffic (paper testbed: 50-100).\n\n");
+
+  TimingScenarioConfig base;
+  base.run_time = Duration::seconds(40);
+
+  // StopWatch runs (virtual-time observations).
+  TimingScenarioConfig sw_victim = base;
+  sw_victim.stopwatch = true;
+  sw_victim.victim_present = true;
+  TimingScenarioConfig sw_clean = sw_victim;
+  sw_clean.victim_present = false;
+
+  const auto r_sw_victim = run_timing_scenario(sw_victim);
+  const auto r_sw_clean = run_timing_scenario(sw_clean);
+
+  // Baseline (unmodified Xen) runs (real-time observations).
+  TimingScenarioConfig bx_victim = base;
+  bx_victim.stopwatch = false;
+  bx_victim.victim_present = true;
+  TimingScenarioConfig bx_clean = bx_victim;
+  bx_clean.victim_present = false;
+
+  const auto r_bx_victim = run_timing_scenario(bx_victim);
+  const auto r_bx_clean = run_timing_scenario(bx_clean);
+
+  std::printf("samples: SW victim=%zu clean=%zu | Xen victim=%zu clean=%zu\n",
+              r_sw_victim.inter_arrival_ms.size(),
+              r_sw_clean.inter_arrival_ms.size(),
+              r_bx_victim.inter_arrival_ms.size(),
+              r_bx_clean.inter_arrival_ms.size());
+  std::printf("replica determinism: %s; divergences: %llu\n\n",
+              r_sw_victim.deterministic ? "OK" : "VIOLATED",
+              static_cast<unsigned long long>(r_sw_victim.divergences +
+                                              r_sw_clean.divergences));
+
+  print_cdf("## Fig 4(a): virtual inter-packet delivery times (StopWatch)",
+            stats::Ecdf(r_sw_clean.inter_arrival_ms),
+            stats::Ecdf(r_sw_victim.inter_arrival_ms));
+
+  std::printf("## Fig 4(b): observations needed to detect the victim\n\n");
+  print_detection_table("w/ StopWatch:", r_sw_clean.inter_arrival_ms,
+                        r_sw_victim.inter_arrival_ms);
+  print_detection_table("w/o StopWatch (unmodified Xen):",
+                        r_bx_clean.inter_arrival_ms,
+                        r_bx_victim.inter_arrival_ms);
+
+  const auto det_sw = make_detector(r_sw_clean.inter_arrival_ms,
+                                    r_sw_victim.inter_arrival_ms);
+  const auto det_bx = make_detector(r_bx_clean.inter_arrival_ms,
+                                    r_bx_victim.inter_arrival_ms);
+  const long sw99 = det_sw.observations_needed(0.99);
+  const long bx99 = det_bx.observations_needed(0.99);
+  std::printf(
+      "Paper shape check: StopWatch strengthens the defense by an order of\n"
+      "magnitude: at 0.99 confidence, %ld (w/) vs %ld (w/o) -> factor "
+      "%.1fx\n",
+      sw99, bx99, static_cast<double>(sw99) / static_cast<double>(bx99));
+  return 0;
+}

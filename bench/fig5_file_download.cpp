@@ -1,0 +1,88 @@
+// Experiment E4 — Paper Fig. 5: HTTP and UDP file-retrieval latency from a
+// cloud-resident web server, baseline (unmodified Xen) vs StopWatch, for
+// file sizes 1 KB .. 10 MB (cold start, averages over repeated runs).
+//
+// The paper's headline numbers: HTTP over StopWatch loses < 2.8x for files
+// >= 100 KB (inbound ACKs pay Δn each); UDP over StopWatch — one inbound
+// request packet total — is competitive with the baselines at >= 100 KB.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "stats/summary.hpp"
+#include "workload/file_service.hpp"
+
+using namespace stopwatch;
+using workload::FileDownloadClient;
+
+namespace {
+
+struct Series {
+  std::vector<double> avg_ms;  // one per file size
+};
+
+const std::vector<std::uint32_t> kSizes = {1 << 10, 10 << 10, 100 << 10,
+                                           1 << 20, 10 << 20};
+constexpr int kRunsPerSize = 5;
+
+Series run_series(core::Policy policy, FileDownloadClient::Protocol proto,
+                  std::uint64_t seed) {
+  core::CloudConfig cfg;
+  cfg.seed = seed;
+  cfg.policy = policy;
+  cfg.machine_count = 3;
+  core::Cloud cloud(cfg);
+  const core::VmHandle vm = cloud.add_vm(
+      "webserver", [] { return std::make_unique<workload::FileServerProgram>(); },
+      {0, 1, 2});
+  FileDownloadClient client(cloud, "client", cloud.vm_addr(vm), proto);
+  cloud.start();
+
+  Series out;
+  for (const std::uint32_t size : kSizes) {
+    std::vector<double> latencies;
+    for (int run = 0; run < kRunsPerSize; ++run) {
+      bool done = false;
+      Duration latency{};
+      client.download(size, [&](Duration d) {
+        done = true;
+        latency = d;
+      });
+      while (!done) cloud.run_for(Duration::millis(100));
+      latencies.push_back(latency.to_seconds() * 1e3);
+    }
+    out.avg_ms.push_back(stats::summarize(latencies).mean);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E4: Fig. 5 — HTTP and UDP file-retrieval latency ===\n\n");
+
+  const Series http_base =
+      run_series(core::Policy::kBaselineXen, FileDownloadClient::Protocol::kHttpTcp, 21);
+  const Series http_sw =
+      run_series(core::Policy::kStopWatch, FileDownloadClient::Protocol::kHttpTcp, 21);
+  const Series udp_base =
+      run_series(core::Policy::kBaselineXen, FileDownloadClient::Protocol::kUdp, 22);
+  const Series udp_sw =
+      run_series(core::Policy::kStopWatch, FileDownloadClient::Protocol::kUdp, 22);
+
+  std::printf("%10s %14s %14s %8s %14s %14s %8s\n", "size", "HTTP base(ms)",
+              "HTTP SW(ms)", "ratio", "UDP base(ms)", "UDP SW(ms)", "ratio");
+  for (std::size_t i = 0; i < kSizes.size(); ++i) {
+    std::printf("%9uK %14.1f %14.1f %8.2f %14.1f %14.1f %8.2f\n",
+                kSizes[i] / 1024, http_base.avg_ms[i], http_sw.avg_ms[i],
+                http_sw.avg_ms[i] / http_base.avg_ms[i], udp_base.avg_ms[i],
+                udp_sw.avg_ms[i], udp_sw.avg_ms[i] / udp_base.avg_ms[i]);
+  }
+
+  std::printf(
+      "\nPaper shape check: HTTP-over-StopWatch ratio settles below ~2.8x\n"
+      "for sizes >= 100KB; UDP-over-StopWatch approaches the baselines as\n"
+      "size grows (single inbound packet per retrieval).\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Experiment E7 — Paper Fig. 8 (Appendix): expected delay induced by
+// StopWatch's median versus additive uniform noise U(0, b), calibrated to
+// equal defensive strength (the same number of observations needed at each
+// confidence level). Δn is chosen so Pr[|X1 - X1'| <= Δn] >= 0.9999, as in
+// the paper.
+//
+// The paper's conclusion: StopWatch's delay is flat in the required
+// confidence, while equal-strength uniform noise grows (and crosses above)
+// as confidence or victim distinctiveness rises.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "stats/detection.hpp"
+#include "stats/distribution.hpp"
+#include "stats/order_statistics.hpp"
+
+using namespace stopwatch;
+using namespace stopwatch::stats;
+
+namespace {
+
+/// Pr[|X - X'| > d] for X ~ Exp(l1), X' ~ Exp(l2), independent.
+double tail_abs_diff(double l1, double l2, double d) {
+  return l2 / (l1 + l2) * std::exp(-l1 * d) +
+         l1 / (l1 + l2) * std::exp(-l2 * d);
+}
+
+double solve_delta_n(double l1, double l2, double eps = 1e-4) {
+  double lo = 0.0, hi = 1.0;
+  while (tail_abs_diff(l1, l2, hi) > eps) hi *= 2.0;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (tail_abs_diff(l1, l2, mid) > eps) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+struct MedianSetting {
+  std::shared_ptr<Exponential> base{std::make_shared<Exponential>(1.0)};
+  std::shared_ptr<Exponential> victim;
+
+  explicit MedianSetting(double lambda_victim)
+      : victim(std::make_shared<Exponential>(lambda_victim)) {}
+
+  [[nodiscard]] double null_cdf(double x) const {
+    const double f = base->cdf(x);
+    return median_of_three_cdf(f, f, f);
+  }
+  [[nodiscard]] double alt_cdf(double x) const {
+    return median_of_three_cdf(victim->cdf(x), base->cdf(x), base->cdf(x));
+  }
+};
+
+/// Observations needed to distinguish Exp(λ)+U(0,b) from Exp(λ')+U(0,b).
+long noise_observations(double lambda_victim, double b, double confidence) {
+  auto x = std::make_shared<Exponential>(1.0);
+  auto xv = std::make_shared<Exponential>(lambda_victim);
+  auto noise = std::make_shared<Uniform>(0.0, b);
+  const SumOfIndependent null_d(x, noise, 256);
+  const SumOfIndependent alt_d(xv, noise, 256);
+  const ChiSquaredDetector det(
+      [&null_d](double v) { return null_d.cdf(v); },
+      [&alt_d](double v) { return alt_d.cdf(v); }, 0.0, 30.0 + b);
+  return det.observations_needed(confidence);
+}
+
+/// Minimum b giving at least `target` observations at `confidence`.
+double calibrate_noise(double lambda_victim, long target, double confidence) {
+  double lo = 0.01, hi = 1.0;
+  while (noise_observations(lambda_victim, hi, confidence) < target) {
+    hi *= 2.0;
+    if (hi > 4096.0) return hi;  // cap: noise cannot reach the target
+  }
+  for (int i = 0; i < 40; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (noise_observations(lambda_victim, mid, confidence) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+/// Ratio of equal-strength uniform-noise delay to StopWatch delay (no
+/// victim), returned for the cross-panel scaling comparison.
+double run_setting(double lambda_victim, const char* label) {
+  const MedianSetting s(lambda_victim);
+  const double delta_n = solve_delta_n(1.0, lambda_victim);
+  const ChiSquaredDetector median_det(
+      [&s](double x) { return s.null_cdf(x); },
+      [&s](double x) { return s.alt_cdf(x); }, 0.0, 30.0);
+
+  // Expected values of the medians (numeric integration of the CDFs).
+  const double e_med_null =
+      mean_from_cdf([&s](double x) { return s.null_cdf(x); }, 60.0);
+  const double e_med_victim =
+      mean_from_cdf([&s](double x) { return s.alt_cdf(x); }, 60.0);
+
+  std::printf("## Fig 8(%s): victim Exp(%.4f); delta_n = %.2f "
+              "(P[|X1-X1'|<=delta_n] >= 0.9999)\n",
+              label, lambda_victim, delta_n);
+  std::printf("%6s %10s %12s %14s %14s %16s %16s\n", "conf", "N_sw",
+              "noise b", "E[X1+XN]", "E[X1'+XN]", "E[X2:3+Dn]",
+              "E[X2:3'+Dn]");
+  double ratio99 = 0.0;
+  for (double conf : {0.70, 0.80, 0.90, 0.99}) {
+    const long n_sw = median_det.observations_needed(conf);
+    const double b = calibrate_noise(lambda_victim, n_sw, conf);
+    std::printf("%6.2f %10ld %12.2f %14.2f %14.2f %16.2f %16.2f\n", conf,
+                n_sw, b, 1.0 + b / 2.0, 1.0 / lambda_victim + b / 2.0,
+                e_med_null + delta_n, e_med_victim + delta_n);
+    ratio99 = (1.0 + b / 2.0) / (e_med_null + delta_n);
+  }
+  std::printf("\n");
+  return ratio99;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== E7: Fig. 8 — StopWatch vs uniform noise at equal strength ===\n\n");
+  const double distinct = run_setting(0.5, "a; lambda'=1/2");
+  const double close = run_setting(10.0 / 11.0, "b; lambda'=10/11");
+  std::printf(
+      "Paper shape check (Appendix): the median's delay scales better than\n"
+      "equal-strength uniform noise as the victim's distinctiveness grows:\n"
+      "noise-delay / StopWatch-delay = %.2fx at lambda'=10/11 (similar\n"
+      "distributions) vs %.2fx at lambda'=1/2 (distinct victim).\n"
+      "(Under this harness's expected-statistic chi-squared methodology the\n"
+      "calibrated b is confidence-independent; the paper's per-confidence\n"
+      "growth depends on its empirical test, see EXPERIMENTS.md E7.)\n",
+      close, distinct);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Microbenchmarks (google-benchmark) of the core primitives: the simulator
+// event loop, median agreement math, placement construction, and the
+// statistical machinery — the building blocks whose costs bound simulation
+// throughput.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "placement/placement.hpp"
+#include "sim/simulator.hpp"
+#include "stats/detection.hpp"
+#include "stats/distribution.hpp"
+#include "stats/order_statistics.hpp"
+#include "stats/special_functions.hpp"
+
+namespace {
+
+using namespace stopwatch;
+
+void BM_SimulatorScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const auto n = state.range(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      sim.schedule_at(RealTime::nanos(i * 100), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_Median3(benchmark::State& state) {
+  Rng rng(1);
+  std::int64_t a = rng.uniform_int(0, 1 << 30);
+  std::int64_t b = rng.uniform_int(0, 1 << 30);
+  std::int64_t c = rng.uniform_int(0, 1 << 30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::median3(a, b, c));
+    ++a;
+    b += 3;
+    c -= 2;
+  }
+}
+BENCHMARK(BM_Median3);
+
+void BM_OrderStatisticCdf(benchmark::State& state) {
+  const std::vector<double> f{0.2, 0.5, 0.7, 0.9, 0.95};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::order_statistic_cdf(f, 3));
+  }
+}
+BENCHMARK(BM_OrderStatisticCdf);
+
+void BM_ChiSquaredInverse(benchmark::State& state) {
+  double p = 0.90;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::chi_squared_inverse_cdf(p, 39.0));
+    p = p >= 0.99 ? 0.70 : p + 0.001;
+  }
+}
+BENCHMARK(BM_ChiSquaredInverse);
+
+void BM_DetectorBuild(benchmark::State& state) {
+  auto base = std::make_shared<stats::Exponential>(1.0);
+  auto victim = std::make_shared<stats::Exponential>(0.5);
+  for (auto _ : state) {
+    const stats::ChiSquaredDetector det(
+        [&](double x) { return base->cdf(x); },
+        [&](double x) { return victim->cdf(x); }, 0.0, 30.0);
+    benchmark::DoNotOptimize(det.noncentrality());
+  }
+}
+BENCHMARK(BM_DetectorBuild);
+
+void BM_Theorem2Placement(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int c = (n - 1) / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::theorem2_placement(n, c));
+  }
+}
+BENCHMARK(BM_Theorem2Placement)->Arg(21)->Arg(99)->Arg(201);
+
+void BM_GreedyPacking(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::greedy_packing(n));
+  }
+}
+BENCHMARK(BM_GreedyPacking)->Arg(16)->Arg(64);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(1.0));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+}  // namespace
+
+BENCHMARK_MAIN();

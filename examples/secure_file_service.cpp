@@ -1,0 +1,67 @@
+// A complete service deployment: an Apache-like file server running as a
+// StopWatch-replicated guest, downloaded from by an external client over
+// both HTTP-like TCP and UDP, illustrating the paper's Fig. 5 guidance on
+// adapting services (minimize inbound packets) for best performance.
+//
+//   ./build/examples/secure_file_service
+#include <cstdio>
+#include <memory>
+
+#include "core/cloud.hpp"
+#include "workload/file_service.hpp"
+
+using namespace stopwatch;
+using workload::FileDownloadClient;
+
+namespace {
+
+double download_ms(core::Cloud& cloud, FileDownloadClient& client,
+                   std::uint32_t size) {
+  bool done = false;
+  Duration latency{};
+  client.download(size, [&](Duration d) {
+    done = true;
+    latency = d;
+  });
+  while (!done) cloud.run_for(Duration::millis(50));
+  return latency.to_seconds() * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  core::CloudConfig cfg;
+  cfg.seed = 5;
+  cfg.policy = core::Policy::kStopWatch;
+  cfg.machine_count = 3;
+  core::Cloud cloud(cfg);
+
+  const core::VmHandle server = cloud.add_vm(
+      "apache",
+      [] { return std::make_unique<workload::FileServerProgram>(); },
+      {0, 1, 2});
+
+  FileDownloadClient tcp_client(cloud, "laptop-tcp", cloud.vm_addr(server),
+                                FileDownloadClient::Protocol::kHttpTcp);
+  FileDownloadClient udp_client(cloud, "laptop-udp", cloud.vm_addr(server),
+                                FileDownloadClient::Protocol::kUdp);
+  cloud.start();
+
+  std::printf("Downloading from the replicated server (StopWatch cloud):\n");
+  std::printf("%10s %16s %16s\n", "size", "HTTP/TCP (ms)", "UDP (ms)");
+  for (std::uint32_t size : {64u * 1024, 512u * 1024, 2u * 1024 * 1024}) {
+    const double tcp_ms = download_ms(cloud, tcp_client, size);
+    const double udp_ms = download_ms(cloud, udp_client, size);
+    std::printf("%9uK %16.1f %16.1f\n", size / 1024, tcp_ms, udp_ms);
+  }
+
+  std::printf(
+      "\nUDP (one inbound request, zero inbound ACKs) avoids paying the\n"
+      "median-agreement delay per inbound packet — the paper's recipe for\n"
+      "making file download over StopWatch competitive with plain Xen.\n");
+  std::printf("divergences: %llu, egress hash mismatches: %llu\n",
+              static_cast<unsigned long long>(cloud.total_divergences()),
+              static_cast<unsigned long long>(
+                  cloud.egress_stats(server).hash_mismatches));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Demonstration of the attack StopWatch defeats.
+//
+// An attacker VM times packet deliveries while a victim VM serves files on
+// the same host. Under unmodified Xen the attacker distinguishes
+// "victim present" from "victim absent" within a handful of observations;
+// under StopWatch the same attacker needs orders of magnitude more.
+//
+//   ./build/examples/timing_channel_demo
+#include <cstdio>
+
+#include "../bench/bench_util.hpp"
+
+using namespace stopwatch;
+using namespace stopwatch::bench;
+
+namespace {
+
+void demo(bool stopwatch) {
+  std::printf("--- %s ---\n", stopwatch ? "StopWatch" : "unmodified Xen");
+
+  TimingScenarioConfig with_victim;
+  with_victim.stopwatch = stopwatch;
+  with_victim.victim_present = true;
+  with_victim.run_time = Duration::seconds(20);
+  with_victim.seed = 7;
+  TimingScenarioConfig without_victim = with_victim;
+  without_victim.victim_present = false;
+
+  const auto observed_with = run_timing_scenario(with_victim);
+  const auto observed_without = run_timing_scenario(without_victim);
+
+  const auto w = stats::summarize(observed_with.inter_arrival_ms);
+  const auto wo = stats::summarize(observed_without.inter_arrival_ms);
+  std::printf("attacker's inter-delivery times, victim present: "
+              "p50=%.2fms p95=%.2fms\n", w.p50, w.p95);
+  std::printf("attacker's inter-delivery times, victim absent:  "
+              "p50=%.2fms p95=%.2fms\n", wo.p50, wo.p95);
+
+  const auto detector = make_detector(observed_without.inter_arrival_ms,
+                                      observed_with.inter_arrival_ms);
+  std::printf("observations the attacker needs to detect the victim\n");
+  for (double conf : {0.80, 0.95, 0.99}) {
+    std::printf("  at %.0f%% confidence: %ld\n", conf * 100,
+                detector.observations_needed(conf));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Access-driven timing channel: attack vs defense ===\n\n");
+  demo(/*stopwatch=*/false);
+  demo(/*stopwatch=*/true);
+  std::printf(
+      "The attacker VM is identical in both runs; only the hypervisor\n"
+      "changed. StopWatch's replication + median delivery buys the victim\n"
+      "orders of magnitude more cover (paper Figs. 1 and 4).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures() (I.5-I.8). Violations throw ContractViolation so tests
+// can assert on them; they are never silently ignored.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stopwatch {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace stopwatch
+
+/// Precondition check: argument/state requirements at function entry.
+#define SW_EXPECTS(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::stopwatch::detail::contract_fail("Precondition", #cond, __FILE__,    \
+                                         __LINE__);                          \
+  } while (0)
+
+/// Postcondition check: result guarantees at function exit.
+#define SW_ENSURES(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::stopwatch::detail::contract_fail("Postcondition", #cond, __FILE__,   \
+                                         __LINE__);                          \
+  } while (0)
+
+/// Internal invariant check.
+#define SW_ASSERT(cond)                                                      \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::stopwatch::detail::contract_fail("Invariant", #cond, __FILE__,       \
+                                         __LINE__);                          \
+  } while (0)

@@ -1,0 +1,44 @@
+// Strong identifier types (Core Guidelines I.4): machine, VM, replica, and
+// packet identities never mix silently.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace stopwatch {
+
+namespace detail {
+template <typename Tag>
+struct Id {
+  std::uint32_t value{0};
+  constexpr auto operator<=>(const Id&) const = default;
+};
+}  // namespace detail
+
+/// Identifies a physical machine (a node of K_n in the placement model).
+using MachineId = detail::Id<struct MachineTag>;
+/// Identifies a guest VM (all three replicas of a guest share its VmId).
+using VmId = detail::Id<struct VmTag>;
+/// Index of a replica within its triple: 0, 1, or 2 (or up to 4 when the
+/// Sec. IX five-replica hardening is enabled).
+using ReplicaIndex = detail::Id<struct ReplicaTag>;
+/// Identifies an endpoint on the simulated network (VM, client, ingress...).
+using NodeId = detail::Id<struct NodeTag>;
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, detail::Id<Tag> id) {
+  return os << id.value;
+}
+
+}  // namespace stopwatch
+
+namespace std {
+template <typename Tag>
+struct hash<stopwatch::detail::Id<Tag>> {
+  size_t operator()(stopwatch::detail::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

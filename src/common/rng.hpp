@@ -1,0 +1,62 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulation (link jitter, host load noise,
+// packet inter-arrival times) draws from an Rng seeded from the experiment
+// configuration, so simulation runs are bit-reproducible — a requirement for
+// both the replica-determinism property the paper relies on (Sec. VI) and
+// for regression testing.
+#pragma once
+
+#include <cstdint>
+
+namespace stopwatch {
+
+/// splitmix64: used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality, reproducible PRNG with convenience
+/// samplers for the distributions the simulator needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive an independent child stream (e.g., one per machine) so that
+  /// adding noise consumers does not perturb unrelated streams.
+  [[nodiscard]] Rng fork(std::uint64_t stream_tag) const;
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, 1).
+  double uniform01();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Exponential with rate lambda (mean 1/lambda).
+  double exponential(double lambda);
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  /// Bernoulli trial.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_{0.0};
+  bool has_cached_normal_{false};
+};
+
+}  // namespace stopwatch

@@ -1,0 +1,169 @@
+// The StopWatch cloud — the paper's primary contribution assembled.
+//
+// A Cloud owns the simulator, the network fabric, n machines, the ingress
+// and egress nodes, and the guest VMs. Under Policy::kStopWatch every guest
+// VM added is transparently replicated `replica_count` times across the
+// requested machines and wired into:
+//   * a per-VM ingress entry (its logical network address) that replicates
+//     every inbound packet to all hosting VMMs via reliable multicast
+//     (Sec. V);
+//   * a per-VM control multicast group carrying delivery-time proposals,
+//     virtual-time sync beacons, and epoch reports among the replica VMMs;
+//   * the egress node, which forwards a guest output packet to its
+//     destination upon receiving the *second* replica copy — the median
+//     emission timing (Sec. VI) — and simultaneously verifies replica
+//     output determinism via content hashes.
+//
+// Under Policy::kBaselineXen the same topology runs unreplicated guests on
+// unmodified-Xen semantics (real clocks, immediate interrupt delivery):
+// the comparison baseline for every experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "hypervisor/guest_context.hpp"
+#include "hypervisor/machine.hpp"
+#include "net/multicast.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "vm/guest.hpp"
+
+namespace stopwatch::core {
+
+using hypervisor::Policy;
+
+struct CloudConfig {
+  std::uint64_t seed{1};
+  Policy policy{Policy::kStopWatch};
+  /// Replicas per guest VM under StopWatch (3 in the paper, 5 for Sec. IX
+  /// hardening). Ignored (forced to 1) under the baseline policy.
+  int replica_count{3};
+  int machine_count{3};
+  hypervisor::MachineConfig machine_template{};
+  hypervisor::GuestContextConfig guest_template{};
+  /// Intra-cloud links (machine <-> machine / ingress / egress).
+  net::LinkModel cloud_link{Duration::micros(150), 0.15, 125e6, 0.0};
+  /// External client links (the paper's campus-wireless client).
+  net::LinkModel client_link{Duration::millis(3), 0.20, 2.5e6, 0.0};
+  /// Machine clock offsets drawn uniformly from [0, spread).
+  Duration clock_offset_spread{Duration::millis(40)};
+};
+
+/// Opaque handle to a guest VM in the cloud.
+struct VmHandle {
+  std::uint32_t index{0};
+};
+
+/// Per-VM egress statistics.
+struct EgressStats {
+  std::uint64_t packets_released{0};
+  /// Replica output hash mismatches observed at the egress (must stay 0:
+  /// replicas are deterministic).
+  std::uint64_t hash_mismatches{0};
+};
+
+class Cloud {
+ public:
+  using ProgramFactory = std::function<std::unique_ptr<vm::GuestProgram>()>;
+  using PacketHandler = std::function<void(const net::Packet&)>;
+
+  explicit Cloud(CloudConfig cfg);
+
+  Cloud(const Cloud&) = delete;
+  Cloud& operator=(const Cloud&) = delete;
+
+  /// Adds a guest VM replicated across `machine_indices` (first
+  /// `replica_count` entries used; baseline uses only the first). The
+  /// factory is invoked once per replica; all replicas receive the same
+  /// deterministic seed.
+  VmHandle add_vm(std::string name, const ProgramFactory& factory,
+                  const std::vector<int>& machine_indices);
+
+  /// Adds an external endpoint (client, collector...) reached over the
+  /// client link model.
+  NodeId add_external_node(std::string name, PacketHandler on_packet);
+
+  /// Sends a packet from an external node (src is filled in).
+  void send_external(NodeId from, net::Packet pkt);
+
+  /// Boots every VM: exchanges machine clocks and starts each replica with
+  /// the median as the initial virtual time (Sec. IV-A).
+  void start();
+
+  /// Runs the simulation for `d` (of simulated real time).
+  void run_for(Duration d);
+
+  /// Stops all guests (no further slices are scheduled).
+  void halt_all();
+
+  // --- Introspection ---
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] hypervisor::Machine& machine(int idx);
+  [[nodiscard]] int machine_count() const { return static_cast<int>(machines_.size()); }
+  [[nodiscard]] hypervisor::GuestContext& replica(VmHandle vm, int replica);
+  [[nodiscard]] int replicas_of(VmHandle vm) const;
+  [[nodiscard]] NodeId vm_addr(VmHandle vm) const;
+  [[nodiscard]] NodeId egress_node() const { return egress_node_; }
+  [[nodiscard]] const EgressStats& egress_stats(VmHandle vm) const;
+  [[nodiscard]] const CloudConfig& config() const { return cfg_; }
+
+  /// True if every pair of replicas of `vm` agrees on the common prefix of
+  /// emitted packet hashes (replica determinism, Sec. VI).
+  [[nodiscard]] bool replicas_deterministic(VmHandle vm) const;
+
+  /// Sum of divergence counters across all replicas of all VMs.
+  [[nodiscard]] std::uint64_t total_divergences() const;
+
+ private:
+  struct VmEntry {
+    std::string name;
+    VmId id{};
+    NodeId addr{};
+    std::vector<int> machines;
+    std::vector<std::unique_ptr<hypervisor::GuestContext>> replicas;
+    std::unique_ptr<net::MulticastGroup> control_group;
+    std::unique_ptr<net::MulticastGroup> ingress_group;
+    std::uint64_t ingress_seq{0};
+    // Egress reassembly: out_seq -> (copies seen, first hash, released).
+    struct EgressSlot {
+      int copies{0};
+      std::uint64_t hash{0};
+      bool released{false};
+    };
+    std::map<std::uint64_t, EgressSlot> egress_slots;
+    EgressStats egress_stats;
+  };
+
+  void on_machine_frame(int machine_idx, const net::Frame& frame);
+  void on_ingress_packet(std::uint32_t vm_index, const net::Packet& pkt);
+  void on_egress_frame(const net::Frame& frame);
+  [[nodiscard]] int effective_replicas() const {
+    return cfg_.policy == Policy::kStopWatch ? cfg_.replica_count : 1;
+  }
+
+  CloudConfig cfg_;
+  Rng root_rng_;
+  sim::Simulator sim_;
+  net::Network net_;
+  std::vector<std::unique_ptr<hypervisor::Machine>> machines_;
+  std::vector<NodeId> machine_nodes_;
+  NodeId egress_node_{};
+  std::vector<VmEntry> vms_;
+  std::map<std::uint32_t, std::uint32_t> addr_to_vm_;  // addr node -> vm idx
+  std::vector<NodeId> external_nodes_;
+  std::map<std::uint32_t, net::MulticastGroup*> groups_;  // by group id
+  std::uint32_t next_group_id_{1};
+  bool started_{false};
+};
+
+}  // namespace stopwatch::core

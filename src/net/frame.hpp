@@ -1,0 +1,104 @@
+// Frames: everything that traverses the simulated cloud LAN.
+//
+// Guest packets are one payload type among several control payloads used by
+// StopWatch itself: ingress copies of inbound guest packets (Sec. V),
+// proposed-delivery-time multicasts among replica VMMs (Sec. V), virtual
+// time sync beacons (fastest-replica throttling, Sec. VII-A), epoch reports
+// (RT-clock resynchronization, Sec. IV-A), and output packets tunneled to
+// the egress node (Sec. VI).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "net/packet.hpp"
+
+namespace stopwatch::net {
+
+/// A guest packet traveling between ordinary endpoints.
+struct GuestPacketPayload {
+  Packet pkt;
+};
+
+/// Ingress -> hosting VMM: the `copy_seq`-th inbound packet of guest `vm`.
+/// All three VMMs see identical (vm, copy_seq, pkt) triples.
+struct IngressCopy {
+  VmId vm{};
+  std::uint64_t copy_seq{0};
+  Packet pkt;
+};
+
+/// VMM -> peer VMMs: proposed virtual delivery time for inbound packet
+/// `copy_seq` of guest `vm` (Sec. V-A). Never visible to guests.
+struct Proposal {
+  VmId vm{};
+  std::uint64_t copy_seq{0};
+  VirtTime proposed_delivery{};
+  MachineId proposer{};
+};
+
+/// VMM -> peer VMMs: periodic virtual-time beacon used to limit the gap
+/// between the two fastest replicas.
+struct SyncBeacon {
+  VmId vm{};
+  MachineId machine{};
+  VirtTime virt{};
+  std::uint64_t instr{0};
+};
+
+/// VMM -> peer VMMs: end-of-epoch report (duration D_k over which the
+/// replica executed the epoch's I instructions, and local real time R_k).
+struct EpochReport {
+  VmId vm{};
+  MachineId machine{};
+  std::uint64_t epoch{0};
+  Duration d_k{};
+  RealTime r_k{};  // machine-local clock reading (includes clock offset)
+};
+
+/// VMM -> egress: a guest output packet plus replica identification; the
+/// egress releases the packet on receiving its second copy (Sec. VI).
+struct TunneledOutput {
+  VmId vm{};
+  ReplicaIndex replica{};
+  std::uint64_t out_seq{0};
+  std::uint64_t content_hash{0};
+  Packet pkt;
+};
+
+/// Receiver -> multicast sender: retransmission request for stream gaps
+/// [begin, end) (the PGM-style NAK, Sec. VII-A).
+struct McastNak {
+  std::uint32_t group{0};
+  NodeId from{};
+  std::uint64_t begin{0};
+  std::uint64_t end{0};
+};
+
+/// Sender -> receivers: advertisement of the sender's highest sequence (the
+/// PGM source-path message), letting receivers detect tail loss.
+struct McastSpm {
+  std::uint32_t group{0};
+  std::uint64_t max_seq{0};
+};
+
+using FramePayload = std::variant<GuestPacketPayload, IngressCopy, Proposal,
+                                  SyncBeacon, EpochReport, TunneledOutput,
+                                  McastNak, McastSpm>;
+
+/// Unit of transmission on the simulated network.
+struct Frame {
+  NodeId src{};
+  NodeId dst{};
+  std::uint32_t size_bytes{kHeaderBytes};
+  FramePayload payload{GuestPacketPayload{}};
+
+  /// Reliable-multicast stream bookkeeping; group == 0 means "not part of a
+  /// reliable stream".
+  std::uint32_t rm_group{0};
+  std::uint64_t rm_seq{0};
+};
+
+}  // namespace stopwatch::net

@@ -1,0 +1,91 @@
+#include "net/network.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace stopwatch::net {
+
+NodeId Network::add_node(std::string name, Handler handler) {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(Node{std::move(name), std::move(handler), {}, RealTime{}});
+  return id;
+}
+
+void Network::set_handler(NodeId node_id, Handler handler) {
+  node(node_id).handler = std::move(handler);
+}
+
+void Network::set_link(NodeId src, NodeId dst, LinkModel model) {
+  SW_EXPECTS(src.value < nodes_.size() && dst.value < nodes_.size());
+  links_[{src.value, dst.value}] = model;
+}
+
+void Network::set_link_bidirectional(NodeId a, NodeId b, LinkModel model) {
+  set_link(a, b, model);
+  set_link(b, a, model);
+}
+
+const LinkModel& Network::link_for(NodeId src, NodeId dst) const {
+  const auto it = links_.find({src.value, dst.value});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+Network::Node& Network::node(NodeId id) {
+  SW_EXPECTS(id.value < nodes_.size());
+  return nodes_[id.value];
+}
+
+const Network::Node& Network::node(NodeId id) const {
+  SW_EXPECTS(id.value < nodes_.size());
+  return nodes_[id.value];
+}
+
+bool Network::send(Frame frame) {
+  Node& src = node(frame.src);
+  Node& dst = node(frame.dst);
+  SW_EXPECTS(dst.handler != nullptr);
+
+  const LinkModel& link = link_for(frame.src, frame.dst);
+
+  src.stats.frames_sent += 1;
+  src.stats.bytes_sent += frame.size_bytes;
+
+  if (link.loss_probability > 0.0 && rng_.chance(link.loss_probability)) {
+    ++frames_dropped_;
+    return false;
+  }
+
+  // Serialization: the sender's uplink transmits frames back to back.
+  const auto serialization = Duration::from_seconds_f(
+      static_cast<double>(frame.size_bytes) / link.bytes_per_second);
+  const RealTime tx_start =
+      src.tx_free.ns > sim_->now().ns ? src.tx_free : sim_->now();
+  const RealTime tx_done = tx_start + serialization;
+  src.tx_free = tx_done;
+
+  // Propagation + jitter.
+  double jitter = 1.0;
+  if (link.jitter_sigma > 0.0) jitter = rng_.lognormal(0.0, link.jitter_sigma);
+  const auto prop = Duration::from_seconds_f(
+      link.base_latency.to_seconds() * jitter);
+
+  const RealTime arrival = tx_done + prop;
+  const NodeId dst_id = frame.dst;
+  sim_->schedule_at(arrival, [this, dst_id, f = std::move(frame)]() {
+    Node& d = node(dst_id);
+    d.stats.frames_received += 1;
+    d.stats.bytes_received += f.size_bytes;
+    d.handler(f);
+  });
+  return true;
+}
+
+const NodeStats& Network::stats(NodeId node_id) const {
+  return node(node_id).stats;
+}
+
+const std::string& Network::name(NodeId node_id) const {
+  return node(node_id).name;
+}
+
+}  // namespace stopwatch::net

@@ -1,0 +1,98 @@
+// The simulated network: nodes joined by links with latency, jitter,
+// serialization delay (bandwidth), and loss.
+//
+// Topology used by StopWatch experiments: cloud machines, the ingress and
+// egress nodes, and external clients all attach here. Per-pair link models
+// can be overridden (e.g., a slow "wireless client" hop as in the paper's
+// evaluation; fast intra-cloud links for VMM-to-VMM proposal traffic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace stopwatch::net {
+
+/// Link behaviour between a pair of nodes (per direction).
+struct LinkModel {
+  /// Fixed propagation delay.
+  Duration base_latency{Duration::micros(100)};
+  /// Lognormal jitter: multiplier exp(N(0, sigma)) applied to base latency.
+  double jitter_sigma{0.1};
+  /// Link rate in bytes per second (serialization delay = size / rate).
+  double bytes_per_second{125e6};  // 1 Gbps
+  /// Independent per-frame loss probability.
+  double loss_probability{0.0};
+};
+
+/// Statistics kept per node.
+struct NodeStats {
+  std::uint64_t frames_sent{0};
+  std::uint64_t frames_received{0};
+  std::uint64_t bytes_sent{0};
+  std::uint64_t bytes_received{0};
+};
+
+/// The network fabric. Owns no node logic; nodes register handlers.
+class Network {
+ public:
+  using Handler = std::function<void(const Frame&)>;
+
+  Network(sim::Simulator& sim, Rng rng) : sim_(&sim), rng_(std::move(rng)) {}
+
+  /// Registers a node; the handler is invoked on frame arrival.
+  NodeId add_node(std::string name, Handler handler);
+
+  /// Replaces a node's handler (used when wiring mutually dependent parts).
+  void set_handler(NodeId node, Handler handler);
+
+  /// Sets the link model for the (src -> dst) direction.
+  void set_link(NodeId src, NodeId dst, LinkModel model);
+  /// Sets the link model for both directions.
+  void set_link_bidirectional(NodeId a, NodeId b, LinkModel model);
+  /// Default model for pairs without an explicit link.
+  void set_default_link(LinkModel model) { default_link_ = model; }
+
+  /// Sends a frame; delivery is scheduled on the simulator. Returns false if
+  /// the frame was dropped by the loss model.
+  bool send(Frame frame);
+
+  [[nodiscard]] const NodeStats& stats(NodeId node) const;
+  [[nodiscard]] const std::string& name(NodeId node) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+
+  /// Total frames dropped by loss models (diagnostics).
+  [[nodiscard]] std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+ private:
+  struct Node {
+    std::string name;
+    Handler handler;
+    NodeStats stats;
+    /// Earliest time the node's uplink is free (serialization queueing).
+    RealTime tx_free{};
+  };
+
+  [[nodiscard]] const LinkModel& link_for(NodeId src, NodeId dst) const;
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+
+  sim::Simulator* sim_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, LinkModel> links_;
+  LinkModel default_link_{};
+  std::uint64_t frames_dropped_{0};
+};
+
+}  // namespace stopwatch::net

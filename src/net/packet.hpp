@@ -1,0 +1,76 @@
+// Guest-level network packets.
+//
+// A Packet is what guests, external clients, and the ingress/egress nodes
+// exchange. It carries enough transport metadata for the TCP-like and
+// UDP-like protocol models in src/transport, plus a payload hash so the
+// egress node can verify that VM replicas emit identical output (Sec. VI).
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+
+namespace stopwatch::net {
+
+/// Transport-level packet types.
+enum class PacketKind : std::uint8_t {
+  kData,     ///< payload-carrying segment (TCP data / UDP datagram)
+  kSyn,      ///< TCP connection request
+  kSynAck,   ///< TCP connection accept
+  kAck,      ///< pure acknowledgment
+  kFin,      ///< half-close
+  kRequest,  ///< application request datagram (UDP file retrieval, probes)
+  kNak,      ///< negative acknowledgment (NAK-reliable transfer)
+};
+
+/// A network packet. Value type; contents must be a deterministic function
+/// of guest execution so replicas emit byte-identical streams.
+struct Packet {
+  NodeId src{};
+  NodeId dst{};
+  PacketKind kind{PacketKind::kData};
+  /// Flow (connection) demultiplexing key, unique per endpoint pair usage.
+  std::uint32_t flow{0};
+  /// Transport sequence number (byte- or segment-granular per protocol).
+  std::uint64_t seq{0};
+  /// Cumulative acknowledgment number.
+  std::uint64_t ack{0};
+  /// On-wire size in bytes (headers + payload).
+  std::uint32_t size_bytes{0};
+  /// Application message id (framing for request/response protocols).
+  std::uint32_t msg_id{0};
+  /// Total length of the application message this packet belongs to.
+  std::uint32_t msg_len{0};
+  /// Offset of this packet's payload within its message.
+  std::uint32_t msg_off{0};
+  /// Opaque application tag (e.g., NFS op code, file id).
+  std::uint32_t app_tag{0};
+
+  /// Order-insensitive content hash for replica output comparison.
+  [[nodiscard]] std::uint64_t content_hash() const {
+    auto mix = [](std::uint64_t h, std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return h;
+    };
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    h = mix(h, src.value);
+    h = mix(h, dst.value);
+    h = mix(h, static_cast<std::uint64_t>(kind));
+    h = mix(h, flow);
+    h = mix(h, seq);
+    h = mix(h, ack);
+    h = mix(h, size_bytes);
+    h = mix(h, msg_id);
+    h = mix(h, msg_len);
+    h = mix(h, msg_off);
+    h = mix(h, app_tag);
+    return h;
+  }
+};
+
+/// Ethernet+IP+TCP-ish header overhead used when sizing packets.
+inline constexpr std::uint32_t kHeaderBytes = 66;
+/// Maximum segment size used by the TCP-like transport.
+inline constexpr std::uint32_t kMss = 1448;
+
+}  // namespace stopwatch::net

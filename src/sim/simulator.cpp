@@ -1,0 +1,73 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace stopwatch::sim {
+
+EventId Simulator::schedule_at(RealTime at, Callback cb) {
+  SW_EXPECTS(at.ns >= now_.ns);
+  SW_EXPECTS(cb != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  return EventId{seq};
+}
+
+EventId Simulator::schedule_after(Duration delay, Callback cb) {
+  if (delay.ns < 0) delay.ns = 0;
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const Entry e = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(e.seq) > 0) continue;  // lazily dropped
+    auto it = callbacks_.find(e.seq);
+    SW_ASSERT(it != callbacks_.end());
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    SW_ASSERT(e.at.ns >= now_.ns);
+    now_ = e.at;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+void Simulator::run_until(RealTime t) {
+  SW_EXPECTS(t.ns >= now_.ns);
+  while (!heap_.empty()) {
+    // Peek past cancelled entries.
+    Entry e = heap_.top();
+    while (cancelled_.count(e.seq) > 0) {
+      heap_.pop();
+      cancelled_.erase(e.seq);
+      if (heap_.empty()) break;
+      e = heap_.top();
+    }
+    if (heap_.empty()) break;
+    if (e.at.ns > t.ns) break;
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace stopwatch::sim

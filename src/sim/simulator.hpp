@@ -1,0 +1,86 @@
+// Deterministic discrete-event simulation kernel.
+//
+// This is the substrate on which the whole cloud runs: machines, links,
+// VMMs, and guest vCPUs are all driven by events scheduled here. Events at
+// equal timestamps fire in schedule order (sequence-number tie-break), so a
+// simulation run is a pure function of its configuration and seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace stopwatch::sim {
+
+/// Handle for a scheduled event; can be used to cancel it.
+struct EventId {
+  std::uint64_t value{0};
+  constexpr auto operator<=>(const EventId&) const = default;
+};
+
+/// Event-driven simulator with a single global (simulated) real-time clock.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated real time.
+  [[nodiscard]] RealTime now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `at`. `at` must not be in the
+  /// past.
+  EventId schedule_at(RealTime at, Callback cb);
+
+  /// Schedule `cb` to run `delay` after now. Negative delays are clamped to
+  /// zero (fires this instant, after already-queued same-time events).
+  EventId schedule_after(Duration delay, Callback cb);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown event is
+  /// a no-op and returns false.
+  bool cancel(EventId id);
+
+  /// Run the single earliest pending event. Returns false if none pending.
+  bool step();
+
+  /// Run events until the queue is empty or `max_events` fired.
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Run events with timestamp <= t, then advance the clock to exactly t.
+  void run_until(RealTime t);
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending (including cancelled-but-queued).
+  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    RealTime at;
+    std::uint64_t seq;
+    // Min-heap: earliest time first; FIFO among equal times.
+    bool operator>(const Entry& o) const {
+      if (at.ns != o.at.ns) return at.ns > o.at.ns;
+      return seq > o.seq;
+    }
+  };
+
+  RealTime now_{};
+  std::uint64_t next_seq_{1};
+  std::uint64_t executed_{0};
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Callbacks stored separately, keyed by seq, so Entry stays trivially
+  // copyable inside the heap.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace stopwatch::sim

@@ -1,0 +1,23 @@
+#include "stats/summary.hpp"
+
+#include "common/contracts.hpp"
+#include "stats/ecdf.hpp"
+
+namespace stopwatch::stats {
+
+Summary summarize(const std::vector<double>& samples) {
+  SW_EXPECTS(!samples.empty());
+  const Ecdf e(samples);
+  Summary s;
+  s.count = e.size();
+  s.mean = e.mean();
+  s.stddev = e.stddev();
+  s.min = e.min();
+  s.p50 = e.quantile(0.50);
+  s.p95 = e.quantile(0.95);
+  s.p99 = e.quantile(0.99);
+  s.max = e.max();
+  return s;
+}
+
+}  // namespace stopwatch::stats

@@ -1,0 +1,22 @@
+// Small helpers to summarize measurement vectors in benches and tests.
+#pragma once
+
+#include <vector>
+
+namespace stopwatch::stats {
+
+struct Summary {
+  std::size_t count{0};
+  double mean{0.0};
+  double stddev{0.0};
+  double min{0.0};
+  double p50{0.0};
+  double p95{0.0};
+  double p99{0.0};
+  double max{0.0};
+};
+
+/// Computes a full summary of the sample vector; requires non-empty input.
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+}  // namespace stopwatch::stats

@@ -1,0 +1,37 @@
+// Transport environment abstraction.
+//
+// The same TCP-like/UDP-like protocol code runs in two very different
+// places: *inside guest VMs* (where the only clock is virtual time and
+// packets leave via the VMM's device model) and *on external client
+// machines* (real time, plain network access). TransportEnv abstracts the
+// difference; see GuestTransportEnv (workload) and the client adapters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "net/packet.hpp"
+
+namespace stopwatch::transport {
+
+class TransportEnv {
+ public:
+  virtual ~TransportEnv() = default;
+
+  /// Emit a packet (src filled by the environment).
+  virtual void send(net::Packet pkt) = 0;
+
+  /// One-shot timer in the local clock domain. Not cancelable — protocol
+  /// code must guard stale firings (generation counters).
+  virtual void set_timer(Duration delay, std::function<void()> cb) = 0;
+
+  /// Local clock in nanoseconds (virtual for guests, real for clients).
+  [[nodiscard]] virtual std::int64_t now_ns() const = 0;
+
+  /// This endpoint's network address.
+  [[nodiscard]] virtual NodeId local_addr() const = 0;
+};
+
+}  // namespace stopwatch::transport

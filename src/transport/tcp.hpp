@@ -1,0 +1,138 @@
+// A compact TCP-like reliable byte-stream transport with message framing.
+//
+// Models the TCP behaviours that drive the paper's Fig. 5/6 results:
+//  * 3-way handshake (SYN / SYN-ACK / ACK) — two of which are *inbound* to
+//    the server and therefore pay StopWatch's Δn on every connection;
+//  * MSS segmentation, a slow-start congestion window, cumulative ACKs;
+//  * delayed ACKs (every 2nd segment or a short timer) — the coalescing
+//    that makes packets-per-operation fall as NFS load rises (Fig. 6(b));
+//  * go-back-N retransmission on RTO (losses are rare on the cloud LAN but
+//    the protocol must stay correct under them).
+//
+// Application data is exchanged as *messages* (length-delimited byte runs);
+// the receiver fires one callback per completed message.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "transport/env.hpp"
+
+namespace stopwatch::transport {
+
+struct TcpConfig {
+  std::uint32_t mss{net::kMss};
+  int initial_cwnd{4};
+  /// Effective window cap in segments (~23 KB — a 2.6-era Linux default
+  /// receive window, as on the paper's testbed guests).
+  int max_cwnd{16};
+  Duration rto{Duration::millis(200)};
+  Duration delayed_ack{Duration::millis(5)};
+  int ack_every{2};
+};
+
+/// Statistics per endpoint (both directions, all connections).
+struct TcpStats {
+  std::uint64_t data_packets_sent{0};
+  std::uint64_t ack_packets_sent{0};
+  std::uint64_t control_packets_sent{0};  // SYN / SYN-ACK / FIN
+  std::uint64_t packets_received{0};
+  std::uint64_t retransmissions{0};
+  std::uint64_t messages_delivered{0};
+};
+
+/// A TCP-like endpoint multiplexing connections by (peer, flow).
+class TcpEndpoint {
+ public:
+  /// on_message(peer, flow, msg_id, msg_len, app_tag).
+  using MessageHandler = std::function<void(
+      NodeId, std::uint32_t, std::uint32_t, std::uint32_t, std::uint32_t)>;
+  using ConnectedHandler = std::function<void(NodeId, std::uint32_t)>;
+
+  explicit TcpEndpoint(TransportEnv& env, TcpConfig cfg = {});
+
+  TcpEndpoint(const TcpEndpoint&) = delete;
+  TcpEndpoint& operator=(const TcpEndpoint&) = delete;
+
+  /// Accept inbound connections; `on_message` fires per completed message.
+  void listen(MessageHandler on_message);
+
+  /// Actively open a connection.
+  void connect(NodeId peer, std::uint32_t flow, ConnectedHandler on_connected);
+
+  /// Queue an application message on the connection (opens implicitly on
+  /// the client after connect()). Messages are delivered reliably, in
+  /// order.
+  void send_message(NodeId peer, std::uint32_t flow, std::uint32_t msg_id,
+                    std::uint32_t msg_len, std::uint32_t app_tag);
+
+  /// Feed an inbound packet addressed to this endpoint.
+  void on_packet(const net::Packet& pkt);
+
+  /// Registers the message handler for client-side endpoints (responses).
+  void set_message_handler(MessageHandler handler);
+
+  [[nodiscard]] const TcpStats& stats() const { return stats_; }
+
+ private:
+  struct Message {
+    std::uint32_t id{0};
+    std::uint64_t start{0};
+    std::uint32_t len{0};
+    std::uint32_t tag{0};
+  };
+
+  struct Connection {
+    NodeId peer{};
+    std::uint32_t flow{0};
+    bool established{false};
+    bool syn_sent{false};
+    ConnectedHandler on_connected;
+
+    // Sender.
+    std::uint64_t snd_una{0};
+    std::uint64_t snd_next{0};
+    std::uint64_t stream_len{0};
+    std::deque<Message> tx_messages;  // pruned as fully acked
+    int cwnd{4};
+    std::uint64_t rto_generation{0};
+    bool rto_armed{false};
+
+    // Receiver.
+    std::uint64_t rcv_next{0};
+    std::map<std::uint64_t, std::uint32_t> ooo;  // seq -> payload len
+    std::map<std::uint64_t, Message> rx_headers;  // msg start -> header
+    std::uint64_t next_msg_start{0};
+    int unacked_segments{0};
+    bool delack_armed{0};
+    std::uint64_t delack_generation{0};
+  };
+
+  using Key = std::uint64_t;
+  static Key key(NodeId peer, std::uint32_t flow) {
+    return (static_cast<std::uint64_t>(peer.value) << 32) | flow;
+  }
+
+  Connection& conn(NodeId peer, std::uint32_t flow);
+  void pump(Connection& c);
+  void send_segment(Connection& c, std::uint64_t seq, const Message& m);
+  void arm_rto(Connection& c);
+  void on_rto(Key k, std::uint64_t generation);
+  void send_ack(Connection& c);
+  void deliver_messages(Connection& c);
+  void handle_data(Connection& c, const net::Packet& pkt);
+  void handle_ack(Connection& c, const net::Packet& pkt);
+  const Message* message_at(Connection& c, std::uint64_t offset) const;
+
+  TransportEnv* env_;
+  TcpConfig cfg_;
+  MessageHandler on_message_;
+  bool listening_{false};
+  std::map<Key, Connection> conns_;
+  TcpStats stats_;
+};
+
+}  // namespace stopwatch::transport

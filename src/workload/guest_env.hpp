@@ -1,0 +1,28 @@
+// Adapter: run transport endpoints *inside* a guest VM.
+//
+// Everything is expressed in guest-visible terms — virtual time for clocks
+// and timers, the VMM device model for packet egress — so protocol behaviour
+// inside the guest stays deterministic across replicas.
+#pragma once
+
+#include "transport/env.hpp"
+#include "vm/guest.hpp"
+
+namespace stopwatch::workload {
+
+class GuestTransportEnv final : public transport::TransportEnv {
+ public:
+  explicit GuestTransportEnv(vm::GuestApi& api) : api_(&api) {}
+
+  void send(net::Packet pkt) override { api_->send_packet(pkt); }
+  void set_timer(Duration delay, std::function<void()> cb) override {
+    api_->set_timer(delay, std::move(cb));
+  }
+  [[nodiscard]] std::int64_t now_ns() const override { return api_->now().ns; }
+  [[nodiscard]] NodeId local_addr() const override { return api_->self_addr(); }
+
+ private:
+  vm::GuestApi* api_;
+};
+
+}  // namespace stopwatch::workload

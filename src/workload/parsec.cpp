@@ -1,0 +1,65 @@
+#include "workload/parsec.hpp"
+
+#include "common/contracts.hpp"
+
+namespace stopwatch::workload {
+
+const std::vector<ParsecAppSpec>& parsec_suite() {
+  // compute_instr calibrated so that at 1e9 instructions/s and the PARSEC
+  // disk profile (0.5-3 ms positioning + 80 MB/s transfer, ~2.2 ms per op),
+  // baseline runtimes land near the paper's Fig. 7(a) measurements.
+  static const std::vector<ParsecAppSpec> suite = {
+      {"ferret", 100'000'000, 31, 32 * 1024, 0.2, 171.0, 350.0, 31},
+      {"blackscholes", 93'000'000, 38, 32 * 1024, 0.2, 177.0, 401.0, 38},
+      {"canneal", 1'126'000'000, 183, 32 * 1024, 0.2, 1530.0, 3230.0, 183},
+      {"dedup", 3'084'000'000, 293, 32 * 1024, 0.5, 3730.0, 5754.0, 293},
+      {"streamcluster", 230'000'000, 27, 32 * 1024, 0.2, 290.0, 382.0, 27},
+  };
+  return suite;
+}
+
+ParsecProgram::ParsecProgram(ParsecAppSpec spec, NodeId collector,
+                             std::uint32_t run_id)
+    : spec_(std::move(spec)), collector_(collector), run_id_(run_id) {
+  SW_EXPECTS(spec_.disk_ops >= 1);
+  SW_EXPECTS(spec_.compute_instr >= 1);
+}
+
+void ParsecProgram::on_boot(vm::GuestApi& api) {
+  api_ = &api;
+  instr_per_phase_ =
+      spec_.compute_instr / static_cast<std::uint64_t>(spec_.disk_ops);
+  if (instr_per_phase_ == 0) instr_per_phase_ = 1;
+  // Initial configuration / directory setup, then the main loop.
+  api_->compute(2'000'000, [this] { run_phase(spec_.disk_ops); });
+}
+
+void ParsecProgram::run_phase(int ops_left) {
+  if (ops_left == 0) {
+    // Cleanup of temporary files, then report completion.
+    api_->compute(1'000'000, [this] { finish(); });
+    return;
+  }
+  api_->compute(instr_per_phase_, [this, ops_left] {
+    const bool write = api_->det_rng().chance(spec_.write_fraction);
+    const auto cont = [this, ops_left] { run_phase(ops_left - 1); };
+    if (write) {
+      api_->disk_write(spec_.bytes_per_op, cont);
+    } else {
+      api_->disk_read(spec_.bytes_per_op, cont);
+    }
+  });
+}
+
+void ParsecProgram::finish() {
+  net::Packet done;
+  done.dst = collector_;
+  done.kind = net::PacketKind::kData;
+  done.size_bytes = 128;
+  done.msg_id = run_id_;
+  done.msg_len = 128;
+  done.app_tag = run_id_;
+  api_->send_packet(done);
+}
+
+}  // namespace stopwatch::workload

@@ -1,0 +1,61 @@
+// PARSEC-like computational workloads (paper Sec. VII-D, Fig. 7).
+//
+// Each application is modeled by its two load-bearing characteristics from
+// the paper's measurements: total computation and the number/size of disk
+// operations spread through the run (the paper shows StopWatch's overhead
+// on these applications is directly proportional to their disk-interrupt
+// counts). The model runs unpack -> interleaved compute/disk -> cleanup and
+// emits one completion packet, whose egress timing defines the run time an
+// external observer measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/guest.hpp"
+
+namespace stopwatch::workload {
+
+struct ParsecAppSpec {
+  std::string name;
+  /// Total computation (instructions at the nominal 1e9 ips).
+  std::uint64_t compute_instr{0};
+  /// Disk operations spread uniformly through the run.
+  int disk_ops{0};
+  std::uint32_t bytes_per_op{32 * 1024};
+  /// Fraction of disk ops that are writes (dedup-style output).
+  double write_fraction{0.3};
+  /// Paper-reported figures (for EXPERIMENTS.md comparison).
+  double paper_baseline_ms{0.0};
+  double paper_stopwatch_ms{0.0};
+  int paper_disk_interrupts{0};
+};
+
+/// The five applications used in the paper, with compute budgets calibrated
+/// against Fig. 7(a)'s baseline runtimes and Fig. 7(b)'s disk interrupts.
+[[nodiscard]] const std::vector<ParsecAppSpec>& parsec_suite();
+
+/// Guest program running one PARSEC-like app, then reporting completion to
+/// `collector` (app_tag = run id).
+class ParsecProgram final : public vm::GuestProgram {
+ public:
+  ParsecProgram(ParsecAppSpec spec, NodeId collector, std::uint32_t run_id);
+
+  void on_boot(vm::GuestApi& api) override;
+  void on_timer_tick(vm::GuestApi&, std::uint64_t) override {}
+  void on_packet(vm::GuestApi&, const net::Packet&) override {}
+
+ private:
+  void run_phase(int ops_left);
+  void finish();
+
+  ParsecAppSpec spec_;
+  NodeId collector_;
+  std::uint32_t run_id_;
+  vm::GuestApi* api_{nullptr};
+  std::uint64_t instr_per_phase_{0};
+};
+
+}  // namespace stopwatch::workload

@@ -1,0 +1,47 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+namespace stopwatch {
+namespace {
+
+TEST(Time, DurationFactories) {
+  EXPECT_EQ(Duration::millis(3).ns, 3'000'000);
+  EXPECT_EQ(Duration::micros(5).ns, 5'000);
+  EXPECT_EQ(Duration::seconds(2).ns, 2'000'000'000);
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+}
+
+TEST(Time, DurationArithmetic) {
+  const auto d = Duration::millis(10) + Duration::micros(500);
+  EXPECT_EQ(d.ns, 10'500'000);
+  EXPECT_EQ((d - Duration::micros(500)).ns, 10'000'000);
+  EXPECT_EQ((Duration::millis(2) * 3).ns, 6'000'000);
+  EXPECT_EQ((Duration::millis(9) / 3).ns, 3'000'000);
+}
+
+TEST(Time, TimePointPlusDuration) {
+  const auto t = RealTime::millis(100) + Duration::millis(50);
+  EXPECT_EQ(t.ns, 150'000'000);
+  EXPECT_EQ((t - RealTime::millis(100)).ns, 50'000'000);
+}
+
+TEST(Time, DomainsDoNotMix) {
+  // RealTime and VirtTime must not be subtractable/comparable across
+  // domains; this is a compile-time property.
+  static_assert(!std::is_invocable_v<std::minus<>, RealTime, VirtTime>);
+  static_assert(!std::is_convertible_v<RealTime, VirtTime>);
+  static_assert(!std::is_convertible_v<VirtTime, RealTime>);
+  SUCCEED();
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(VirtTime::millis(1), VirtTime::millis(2));
+  EXPECT_EQ(RealTime::seconds(1), RealTime::millis(1000));
+  EXPECT_GT(Duration::micros(1001), Duration::millis(1));
+}
+
+}  // namespace
+}  // namespace stopwatch

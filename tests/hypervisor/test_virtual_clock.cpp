@@ -1,0 +1,77 @@
+#include "hypervisor/virtual_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace stopwatch::hypervisor {
+namespace {
+
+TEST(VirtualClock, Eqn1LinearInInstructions) {
+  VirtualClock clock(VirtualClock::Mode::kVirtualized,
+                     [] { return RealTime{}; });
+  clock.initialize(VirtTime::millis(5), 1.0);
+  EXPECT_EQ(clock.at_instr(0), VirtTime::millis(5));
+  EXPECT_EQ(clock.at_instr(1'000'000).ns, VirtTime::millis(6).ns);
+}
+
+TEST(VirtualClock, SlopeScalesProgress) {
+  VirtualClock clock(VirtualClock::Mode::kVirtualized,
+                     [] { return RealTime{}; });
+  clock.initialize(VirtTime{}, 2.0);
+  EXPECT_EQ(clock.at_instr(500).ns, 1000);
+}
+
+TEST(VirtualClock, RebaseKeepsContinuity) {
+  VirtualClock clock(VirtualClock::Mode::kVirtualized,
+                     [] { return RealTime{}; });
+  clock.initialize(VirtTime{}, 1.0);
+  const auto before = clock.at_instr(1000);
+  clock.rebase(1000, 0.5);
+  EXPECT_EQ(clock.at_instr(1000), before);  // continuous at the anchor
+  EXPECT_EQ(clock.at_instr(2000).ns, before.ns + 500);
+}
+
+TEST(VirtualClock, PassthroughTracksMachineClock) {
+  RealTime machine_now{};
+  VirtualClock clock(VirtualClock::Mode::kRealPassthrough,
+                     [&machine_now] { return machine_now; });
+  clock.initialize(VirtTime{}, 1.0);
+  machine_now = RealTime::millis(123);
+  EXPECT_EQ(clock.now(777).ns, RealTime::millis(123).ns);  // instr ignored
+}
+
+TEST(VirtualClock, MonotoneUnderRebaseSequence) {
+  VirtualClock clock(VirtualClock::Mode::kVirtualized,
+                     [] { return RealTime{}; });
+  clock.initialize(VirtTime{}, 1.0);
+  std::int64_t prev = -1;
+  std::uint64_t instr = 0;
+  for (int k = 0; k < 20; ++k) {
+    instr += 1000;
+    const auto v = clock.at_instr(instr).ns;
+    EXPECT_GT(v, prev);
+    prev = v;
+    clock.rebase(instr, k % 2 == 0 ? 0.9 : 1.1);
+  }
+}
+
+TEST(VirtualClock, RejectsBadArguments) {
+  VirtualClock clock(VirtualClock::Mode::kVirtualized,
+                     [] { return RealTime{}; });
+  EXPECT_THROW((void)clock.at_instr(0), ContractViolation);  // uninitialized
+  EXPECT_THROW(clock.initialize(VirtTime{}, 0.0), ContractViolation);
+  clock.initialize(VirtTime{}, 1.0);
+  clock.rebase(100, 1.0);
+  EXPECT_THROW((void)clock.at_instr(50), ContractViolation);  // before anchor
+}
+
+TEST(VirtualClock, ClampSlopeRespectsBounds) {
+  EXPECT_DOUBLE_EQ(clamp_slope(1.05, 0.9, 1.1), 1.05);
+  EXPECT_DOUBLE_EQ(clamp_slope(0.5, 0.9, 1.1), 0.9);
+  EXPECT_DOUBLE_EQ(clamp_slope(2.0, 0.9, 1.1), 1.1);
+  EXPECT_THROW((void)clamp_slope(1.0, -0.1, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stopwatch::hypervisor

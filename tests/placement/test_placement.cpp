@@ -1,0 +1,180 @@
+#include "placement/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contracts.hpp"
+
+namespace stopwatch::placement {
+namespace {
+
+TEST(Quasigroup, IdempotentCommutativeLatinSquare) {
+  for (int q : {1, 3, 5, 7, 9, 11, 21}) {
+    const Quasigroup Q(q);
+    for (int a = 0; a < q; ++a) {
+      EXPECT_EQ(Q.op(a, a), a) << "idempotent, q=" << q;
+      std::set<int> row;
+      for (int b = 0; b < q; ++b) {
+        EXPECT_EQ(Q.op(a, b), Q.op(b, a)) << "commutative";
+        row.insert(Q.op(a, b));
+      }
+      EXPECT_EQ(static_cast<int>(row.size()), q) << "Latin row, q=" << q;
+    }
+  }
+}
+
+TEST(Theorem1, SmallKnownValues) {
+  // K_3: 1 triangle. K_7: C(7,2)=21 -> 7 triangles (Steiner).
+  EXPECT_EQ(max_triangle_packing(3), 1);
+  EXPECT_EQ(max_triangle_packing(7), 7);
+  // K_9: 36/3 = 12 (STS(9)).
+  EXPECT_EQ(max_triangle_packing(9), 12);
+  // n < 3: no triangle.
+  EXPECT_EQ(max_triangle_packing(0), 0);
+  EXPECT_EQ(max_triangle_packing(2), 0);
+  // K_5: C(5,2)=10; 3k<=10 with 10-3k not in {1,2} -> k=2 (10-6=4 ok; k=3
+  // leaves 1).
+  EXPECT_EQ(max_triangle_packing(5), 2);
+  // K_4 (even): (6 - 2)/3 = 1.
+  EXPECT_EQ(max_triangle_packing(4), 1);
+  // K_6 (even): (15 - 3)/3 = 4.
+  EXPECT_EQ(max_triangle_packing(6), 4);
+}
+
+TEST(Theorem1, QuadraticScaling) {
+  // Θ(n²): packing count relative to C(n,2)/3 approaches 1.
+  for (int n : {21, 45, 99, 201}) {
+    const long k = max_triangle_packing(n);
+    const long long pairs = static_cast<long long>(n) * (n - 1) / 2;
+    EXPECT_GE(3 * k, pairs - 4);
+  }
+}
+
+TEST(Bose, ConstructsValidSteinerTripleSystem) {
+  for (int n : {9, 15, 21, 33, 45}) {
+    const BoseSystem sys = bose_construction(n);
+    EXPECT_EQ(sys.n, n);
+    EXPECT_EQ(static_cast<int>(sys.g0.size()), (n / 3));
+    EXPECT_EQ(static_cast<int>(sys.gt.size()), sys.v);
+
+    // All triangles together form an STS: every edge exactly once.
+    std::vector<Triangle> all = sys.g0;
+    for (const auto& g : sys.gt) all.insert(all.end(), g.begin(), g.end());
+    EXPECT_EQ(static_cast<long>(all.size()), max_triangle_packing(n));
+    EXPECT_TRUE(valid_placement(all, n));
+
+    std::set<std::pair<int, int>> edges;
+    for (const auto& t : all) {
+      edges.insert({std::min(t.a, t.b), std::max(t.a, t.b)});
+      edges.insert({std::min(t.a, t.c), std::max(t.a, t.c)});
+      edges.insert({std::min(t.b, t.c), std::max(t.b, t.c)});
+    }
+    EXPECT_EQ(static_cast<long long>(edges.size()),
+              static_cast<long long>(n) * (n - 1) / 2)
+        << "every edge of K_n covered, n=" << n;
+  }
+}
+
+TEST(Bose, GroupVisitCounts) {
+  const BoseSystem sys = bose_construction(21);
+  // G_0 visits each node exactly once.
+  auto g0_occ = occupancy(sys.g0, 21);
+  for (int o : g0_occ) EXPECT_EQ(o, 1);
+  // Each G_t visits each node exactly three times.
+  for (const auto& g : sys.gt) {
+    auto occ = occupancy(g, 21);
+    for (int o : occ) EXPECT_EQ(o, 3);
+  }
+}
+
+TEST(Bose, RejectsBadN) {
+  EXPECT_THROW(bose_construction(10), ContractViolation);
+  EXPECT_THROW(bose_construction(12), ContractViolation);
+  EXPECT_THROW(bose_construction(7), ContractViolation);
+}
+
+class Theorem2Test
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Theorem2Test, PlacementIsValidAndMeetsBound) {
+  const auto [n, c] = GetParam();
+  const auto placement = theorem2_placement(n, c);
+  EXPECT_EQ(static_cast<long>(placement.size()), theorem2_bound(n, c))
+      << "n=" << n << " c=" << c;
+  EXPECT_TRUE(valid_placement(placement, n, c)) << "n=" << n << " c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacitySweep, Theorem2Test,
+    ::testing::Values(
+        // n = 9: c <= 4; c mod 3 covers 1, 2, 0, 1.
+        std::make_tuple(9, 1), std::make_tuple(9, 2), std::make_tuple(9, 3),
+        std::make_tuple(9, 4),
+        // n = 15: c <= 7.
+        std::make_tuple(15, 1), std::make_tuple(15, 2),
+        std::make_tuple(15, 3), std::make_tuple(15, 5),
+        std::make_tuple(15, 6), std::make_tuple(15, 7),
+        // n = 21: c <= 10.
+        std::make_tuple(21, 4), std::make_tuple(21, 8),
+        std::make_tuple(21, 9), std::make_tuple(21, 10),
+        // n = 45: c <= 22.
+        std::make_tuple(45, 10), std::make_tuple(45, 21),
+        std::make_tuple(45, 22),
+        // n = 99: c <= 49.
+        std::make_tuple(99, 33), std::make_tuple(99, 47),
+        std::make_tuple(99, 49)));
+
+TEST(Theorem2, UtilizationBeatsIsolation) {
+  // Isolation runs n VMs on n machines. StopWatch with capacity c places
+  // ~cn/3 VMs, beating isolation from c >= 4 onward.
+  for (int n : {9, 21, 45, 99}) {
+    const int c = (n - 1) / 2;
+    EXPECT_GT(theorem2_bound(n, c), n) << "n=" << n;
+  }
+}
+
+TEST(Theorem2, RejectsOutOfRangeInputs) {
+  EXPECT_THROW(theorem2_placement(10, 1), ContractViolation);
+  EXPECT_THROW(theorem2_placement(9, 0), ContractViolation);
+  EXPECT_THROW(theorem2_placement(9, 5), ContractViolation);  // c > (n-1)/2
+}
+
+class GreedyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyTest, ProducesValidPackingOfDecentSize) {
+  const int n = GetParam();
+  const auto packing = greedy_packing(n);
+  EXPECT_TRUE(valid_placement(packing, n));
+  const long bound = max_triangle_packing(n);
+  if (bound > 0) {
+    EXPECT_GE(static_cast<long>(packing.size()), bound / 2)
+        << "greedy too weak for n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GreedyTest,
+                         ::testing::Values(3, 4, 5, 8, 10, 16, 25, 40, 64));
+
+TEST(Greedy, HonorsCapacity) {
+  for (int c : {1, 2, 3, 5}) {
+    const auto packing = greedy_packing(30, c);
+    EXPECT_TRUE(valid_placement(packing, 30, c)) << "c=" << c;
+  }
+}
+
+TEST(ValidPlacement, DetectsViolations) {
+  // Edge reuse.
+  EXPECT_FALSE(valid_placement({{0, 1, 2}, {0, 1, 3}}, 4));
+  // Degenerate triangle.
+  EXPECT_FALSE(valid_placement({{0, 0, 1}}, 3));
+  // Vertex out of range.
+  EXPECT_FALSE(valid_placement({{0, 1, 5}}, 4));
+  // Capacity violation.
+  EXPECT_FALSE(valid_placement({{0, 1, 2}, {0, 3, 4}}, 5, 1));
+  // A clean placement.
+  EXPECT_TRUE(valid_placement({{0, 1, 2}, {0, 3, 4}}, 5, 2));
+}
+
+}  // namespace
+}  // namespace stopwatch::placement

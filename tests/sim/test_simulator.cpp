@@ -1,0 +1,116 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace stopwatch::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(RealTime::millis(30), [&] { order.push_back(3); });
+  sim.schedule_at(RealTime::millis(10), [&] { order.push_back(1); });
+  sim.schedule_at(RealTime::millis(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), RealTime::millis(30));
+}
+
+TEST(Simulator, EqualTimestampsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(RealTime::millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  RealTime fired{};
+  sim.schedule_at(RealTime::millis(10), [&] {
+    sim.schedule_after(Duration::millis(5), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, RealTime::millis(15));
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(RealTime::millis(10), [&] {
+    sim.schedule_after(Duration::millis(-5), [&] { ran = true; });
+  });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), RealTime::millis(10));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.schedule_at(RealTime::millis(10), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(RealTime::millis(10), [&] { ++count; });
+  sim.schedule_at(RealTime::millis(20), [&] { ++count; });
+  sim.schedule_at(RealTime::millis(30), [&] { ++count; });
+  sim.run_until(RealTime::millis(20));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), RealTime::millis(20));
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(RealTime::millis(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(RealTime::millis(5), [] {}), ContractViolation);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(Duration::micros(1), chain);
+  };
+  sim.schedule_at(RealTime::nanos(0), chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(Simulator, RunWithEventBudgetStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(RealTime::millis(i), [&] { ++count; });
+  }
+  sim.run(4);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulator, PendingCountExcludesCancelled) {
+  Simulator sim;
+  const auto a = sim.schedule_at(RealTime::millis(1), [] {});
+  sim.schedule_at(RealTime::millis(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace stopwatch::sim

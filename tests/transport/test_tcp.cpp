@@ -1,0 +1,258 @@
+#include "transport/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "transport/udp.hpp"
+
+namespace stopwatch::transport {
+namespace {
+
+/// Two endpoints joined by a symmetric lossy link over the simulator.
+class Loopback {
+ public:
+  class Env final : public TransportEnv {
+   public:
+    Env(Loopback& lb, NodeId self) : lb_(&lb), self_(self) {}
+    void send(net::Packet pkt) override {
+      pkt.src = self_;
+      lb_->transmit(pkt);
+    }
+    void set_timer(Duration delay, std::function<void()> cb) override {
+      lb_->sim.schedule_after(delay, std::move(cb));
+    }
+    [[nodiscard]] std::int64_t now_ns() const override {
+      return lb_->sim.now().ns;
+    }
+    [[nodiscard]] NodeId local_addr() const override { return self_; }
+
+   private:
+    Loopback* lb_;
+    NodeId self_;
+  };
+
+  explicit Loopback(double loss = 0.0, Duration latency = Duration::millis(1))
+      : loss_(loss), latency_(latency) {}
+
+  void transmit(net::Packet pkt) {
+    if (loss_ > 0.0 && rng_.chance(loss_)) return;
+    sim.schedule_after(latency_, [this, pkt] {
+      deliver_to(pkt.dst, pkt);
+    });
+  }
+
+  void deliver_to(NodeId dst, const net::Packet& pkt) {
+    if (dst.value == 1 && a_rx) a_rx(pkt);
+    if (dst.value == 2 && b_rx) b_rx(pkt);
+  }
+
+  sim::Simulator sim;
+  std::function<void(const net::Packet&)> a_rx, b_rx;
+
+ private:
+  double loss_;
+  Duration latency_;
+  Rng rng_{4242};
+};
+
+struct TcpPair {
+  Loopback lb;
+  Loopback::Env env_a{lb, NodeId{1}};
+  Loopback::Env env_b{lb, NodeId{2}};
+  TcpEndpoint a{env_a};
+  TcpEndpoint b{env_b};
+
+  explicit TcpPair(double loss = 0.0) : lb(loss) {
+    lb.a_rx = [this](const net::Packet& p) { a.on_packet(p); };
+    lb.b_rx = [this](const net::Packet& p) { b.on_packet(p); };
+  }
+};
+
+TEST(Tcp, HandshakeConnects) {
+  TcpPair pair;
+  bool connected = false;
+  pair.b.listen([](NodeId, std::uint32_t, std::uint32_t, std::uint32_t,
+                   std::uint32_t) {});
+  pair.a.connect(NodeId{2}, 1,
+                 [&](NodeId peer, std::uint32_t flow) {
+                   connected = true;
+                   EXPECT_EQ(peer, (NodeId{2}));
+                   EXPECT_EQ(flow, 1u);
+                 });
+  pair.lb.sim.run();
+  EXPECT_TRUE(connected);
+  // SYN + SYN-ACK + final ACK = 3 packets on the wire.
+  EXPECT_EQ(pair.a.stats().control_packets_sent, 1u);
+  EXPECT_EQ(pair.b.stats().control_packets_sent, 1u);
+  EXPECT_EQ(pair.a.stats().ack_packets_sent, 1u);
+}
+
+TEST(Tcp, SmallMessageRoundTrip) {
+  TcpPair pair;
+  std::vector<std::uint32_t> server_got;
+  bool reply_got = false;
+  pair.b.listen([&](NodeId peer, std::uint32_t flow, std::uint32_t msg_id,
+                    std::uint32_t len, std::uint32_t tag) {
+    server_got.push_back(msg_id);
+    EXPECT_EQ(len, 300u);
+    EXPECT_EQ(tag, 77u);
+    pair.b.send_message(peer, flow, msg_id, 1000, 0);
+  });
+  pair.a.set_message_handler([&](NodeId, std::uint32_t, std::uint32_t msg_id,
+                                 std::uint32_t len, std::uint32_t) {
+    reply_got = true;
+    EXPECT_EQ(msg_id, 5u);
+    EXPECT_EQ(len, 1000u);
+  });
+  pair.a.connect(NodeId{2}, 1, [&](NodeId peer, std::uint32_t flow) {
+    pair.a.send_message(peer, flow, 5, 300, 77);
+  });
+  pair.lb.sim.run();
+  EXPECT_EQ(server_got, (std::vector<std::uint32_t>{5}));
+  EXPECT_TRUE(reply_got);
+}
+
+TEST(Tcp, LargeTransferSegmentsAndDelivers) {
+  TcpPair pair;
+  const std::uint32_t size = 1'000'000;
+  bool done = false;
+  pair.b.listen([&](NodeId peer, std::uint32_t flow, std::uint32_t msg_id,
+                    std::uint32_t, std::uint32_t tag) {
+    pair.b.send_message(peer, flow, msg_id, tag, tag);  // echo tag-sized file
+  });
+  pair.a.set_message_handler([&](NodeId, std::uint32_t, std::uint32_t,
+                                 std::uint32_t len, std::uint32_t) {
+    done = true;
+    EXPECT_EQ(len, size);
+  });
+  pair.a.connect(NodeId{2}, 3, [&](NodeId peer, std::uint32_t flow) {
+    pair.a.send_message(peer, flow, 1, 200, size);
+  });
+  pair.lb.sim.run();
+  EXPECT_TRUE(done);
+  // ~size/mss segments were needed.
+  EXPECT_GE(pair.b.stats().data_packets_sent, size / net::kMss);
+  // Delayed ACKs: roughly one ACK per two segments, not per segment.
+  EXPECT_LT(pair.a.stats().ack_packets_sent,
+            pair.b.stats().data_packets_sent);
+}
+
+TEST(Tcp, SurvivesHeavyLoss) {
+  TcpPair pair(/*loss=*/0.2);
+  const std::uint32_t size = 120'000;
+  bool done = false;
+  pair.b.listen([&](NodeId peer, std::uint32_t flow, std::uint32_t msg_id,
+                    std::uint32_t, std::uint32_t tag) {
+    pair.b.send_message(peer, flow, msg_id, tag, tag);
+  });
+  pair.a.set_message_handler([&](NodeId, std::uint32_t, std::uint32_t,
+                                 std::uint32_t len, std::uint32_t) {
+    done = true;
+    EXPECT_EQ(len, size);
+  });
+  pair.a.connect(NodeId{2}, 1, [&](NodeId peer, std::uint32_t flow) {
+    pair.a.send_message(peer, flow, 1, 200, size);
+  });
+  pair.lb.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(pair.b.stats().retransmissions + pair.a.stats().retransmissions,
+            0u);
+}
+
+TEST(Tcp, MultipleMessagesInOrder) {
+  TcpPair pair;
+  std::vector<std::uint32_t> order;
+  pair.b.listen([&](NodeId, std::uint32_t, std::uint32_t msg_id, std::uint32_t,
+                    std::uint32_t) { order.push_back(msg_id); });
+  pair.a.connect(NodeId{2}, 1, [&](NodeId peer, std::uint32_t flow) {
+    for (std::uint32_t i = 1; i <= 10; ++i) {
+      pair.a.send_message(peer, flow, i, 5000, 0);
+    }
+  });
+  pair.lb.sim.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i + 1);
+}
+
+TEST(Tcp, ConcurrentFlowsAreIndependent) {
+  TcpPair pair;
+  std::vector<std::uint32_t> flows;
+  pair.b.listen([&](NodeId, std::uint32_t flow, std::uint32_t, std::uint32_t,
+                    std::uint32_t) { flows.push_back(flow); });
+  for (std::uint32_t f = 1; f <= 3; ++f) {
+    pair.a.connect(NodeId{2}, f, [&pair, f](NodeId peer, std::uint32_t) {
+      pair.a.send_message(peer, f, 100 + f, 256, 0);
+    });
+  }
+  pair.lb.sim.run();
+  EXPECT_EQ(flows.size(), 3u);
+}
+
+TEST(Udp, MessageFragmentationAndReassembly) {
+  Loopback lb;
+  Loopback::Env env_a(lb, NodeId{1});
+  Loopback::Env env_b(lb, NodeId{2});
+  UdpEndpoint a(env_a);
+  UdpEndpoint b(env_b);
+  lb.a_rx = [&](const net::Packet& p) { a.on_packet(p); };
+  lb.b_rx = [&](const net::Packet& p) { b.on_packet(p); };
+
+  bool got = false;
+  b.set_message_handler([&](NodeId, std::uint32_t, std::uint32_t msg_id,
+                            std::uint32_t len, std::uint32_t) {
+    got = true;
+    EXPECT_EQ(msg_id, 9u);
+    EXPECT_EQ(len, 100'000u);
+  });
+  a.send_message(NodeId{2}, 1, 9, 100'000, 0);
+  lb.sim.run();
+  EXPECT_TRUE(got);
+  EXPECT_GE(a.stats().datagrams_sent, 100'000u / 1472u);
+}
+
+TEST(Udp, NoAcknowledgmentTraffic) {
+  Loopback lb;
+  Loopback::Env env_a(lb, NodeId{1});
+  Loopback::Env env_b(lb, NodeId{2});
+  UdpEndpoint a(env_a);
+  UdpEndpoint b(env_b);
+  int b_to_a = 0;
+  lb.a_rx = [&](const net::Packet& p) {
+    ++b_to_a;
+    a.on_packet(p);
+  };
+  lb.b_rx = [&](const net::Packet& p) { b.on_packet(p); };
+  b.set_message_handler([](NodeId, std::uint32_t, std::uint32_t, std::uint32_t,
+                           std::uint32_t) {});
+  a.send_message(NodeId{2}, 1, 1, 50'000, 0);
+  lb.sim.run();
+  EXPECT_EQ(b_to_a, 0);  // nothing flows back: that is the point of Fig. 5
+}
+
+TEST(Udp, NakReliabilityRecoversLoss) {
+  Loopback lb(/*loss=*/0.25);
+  Loopback::Env env_a(lb, NodeId{1});
+  Loopback::Env env_b(lb, NodeId{2});
+  UdpEndpoint a(env_a, /*nak_reliability=*/true);
+  UdpEndpoint b(env_b, /*nak_reliability=*/true);
+  lb.a_rx = [&](const net::Packet& p) { a.on_packet(p); };
+  lb.b_rx = [&](const net::Packet& p) { b.on_packet(p); };
+
+  bool got = false;
+  b.set_message_handler([&](NodeId, std::uint32_t, std::uint32_t,
+                            std::uint32_t len, std::uint32_t) {
+    got = true;
+    EXPECT_EQ(len, 200'000u);
+  });
+  a.send_message(NodeId{2}, 1, 4, 200'000, 0);
+  lb.sim.run();
+  EXPECT_TRUE(got);
+  EXPECT_GT(b.stats().naks_sent, 0u);
+}
+
+}  // namespace
+}  // namespace stopwatch::transport

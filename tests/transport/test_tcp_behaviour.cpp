@@ -1,0 +1,146 @@
+// TCP behaviours that drive the paper's performance results: delayed-ACK
+// coalescing (Fig. 6(b)), window-capped throughput (Fig. 5's 2.8x), and
+// handshake packet economics (every inbound packet pays Δn).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "transport/tcp.hpp"
+
+namespace stopwatch::transport {
+namespace {
+
+/// Minimal two-endpoint world with adjustable one-way latency.
+struct World {
+  sim::Simulator sim;
+  Duration latency{Duration::millis(2)};
+
+  class Env final : public TransportEnv {
+   public:
+    Env(World& w, NodeId self) : w_(&w), self_(self) {}
+    void send(net::Packet pkt) override {
+      pkt.src = self_;
+      auto* w = w_;
+      w->sim.schedule_after(w->latency, [w, pkt] {
+        if (pkt.dst.value == 1 && w->to_a) w->to_a(pkt);
+        if (pkt.dst.value == 2 && w->to_b) w->to_b(pkt);
+      });
+    }
+    void set_timer(Duration d, std::function<void()> cb) override {
+      w_->sim.schedule_after(d, std::move(cb));
+    }
+    [[nodiscard]] std::int64_t now_ns() const override {
+      return w_->sim.now().ns;
+    }
+    [[nodiscard]] NodeId local_addr() const override { return self_; }
+
+   private:
+    World* w_;
+    NodeId self_;
+  };
+
+  std::function<void(const net::Packet&)> to_a, to_b;
+};
+
+TEST(TcpBehaviour, HandshakeCostsExactlyTwoInboundPacketsAtServer) {
+  World w;
+  World::Env ea(w, NodeId{1}), eb(w, NodeId{2});
+  TcpEndpoint client(ea), server(eb);
+  int server_inbound = 0;
+  w.to_a = [&](const net::Packet& p) { client.on_packet(p); };
+  w.to_b = [&](const net::Packet& p) {
+    ++server_inbound;
+    server.on_packet(p);
+  };
+  server.listen([](NodeId, std::uint32_t, std::uint32_t, std::uint32_t,
+                   std::uint32_t) {});
+  client.connect(NodeId{2}, 1, [](NodeId, std::uint32_t) {});
+  w.sim.run();
+  // SYN + final ACK: the two packets that each pay Δn under StopWatch.
+  EXPECT_EQ(server_inbound, 2);
+}
+
+TEST(TcpBehaviour, DelayedAckCoalescesPipelinedSegments) {
+  World w;
+  World::Env ea(w, NodeId{1}), eb(w, NodeId{2});
+  TcpEndpoint client(ea), server(eb);
+  w.to_a = [&](const net::Packet& p) { client.on_packet(p); };
+  w.to_b = [&](const net::Packet& p) { server.on_packet(p); };
+  server.listen([&](NodeId peer, std::uint32_t flow, std::uint32_t id,
+                    std::uint32_t, std::uint32_t tag) {
+    server.send_message(peer, flow, id, tag, tag);
+  });
+  client.set_message_handler([](NodeId, std::uint32_t, std::uint32_t,
+                                std::uint32_t, std::uint32_t) {});
+  client.connect(NodeId{2}, 1, [&](NodeId peer, std::uint32_t flow) {
+    client.send_message(peer, flow, 1, 200, 200'000);  // ~139 segments back
+  });
+  w.sim.run();
+  const auto& cs = client.stats();
+  // Roughly one ACK per two data segments, not one per segment.
+  EXPECT_LT(cs.ack_packets_sent, server.stats().data_packets_sent * 3 / 4);
+  EXPECT_GT(cs.ack_packets_sent, server.stats().data_packets_sent / 4);
+}
+
+TEST(TcpBehaviour, ThroughputIsWindowOverRttLimited) {
+  // Transfer time for a large message ~ size / (cwnd_max * MSS / RTT).
+  const auto run_with_latency = [](Duration lat) {
+    World w;
+    w.latency = lat;
+    World::Env ea(w, NodeId{1}), eb(w, NodeId{2});
+    TcpEndpoint client(ea), server(eb);
+    w.to_a = [&](const net::Packet& p) { client.on_packet(p); };
+    w.to_b = [&](const net::Packet& p) { server.on_packet(p); };
+    RealTime done{};
+    server.listen([&](NodeId peer, std::uint32_t flow, std::uint32_t id,
+                      std::uint32_t, std::uint32_t tag) {
+      server.send_message(peer, flow, id, tag, tag);
+    });
+    client.set_message_handler([&](NodeId, std::uint32_t, std::uint32_t,
+                                   std::uint32_t, std::uint32_t) {
+      done = w.sim.now();
+    });
+    client.connect(NodeId{2}, 1, [&](NodeId peer, std::uint32_t flow) {
+      client.send_message(peer, flow, 1, 200, 1'000'000);
+    });
+    w.sim.run();
+    return done;
+  };
+  const auto fast = run_with_latency(Duration::millis(1));
+  const auto slow = run_with_latency(Duration::millis(4));
+  // RTT x4 -> steady-state throughput /4; transfer time scales ~linearly
+  // (slow start amortized over ~44 windows).
+  const double ratio = static_cast<double>(slow.ns) / static_cast<double>(fast.ns);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(TcpBehaviour, AckOnlyFlowsCarryNoData) {
+  World w;
+  World::Env ea(w, NodeId{1}), eb(w, NodeId{2});
+  TcpEndpoint client(ea), server(eb);
+  std::uint64_t client_bytes_on_wire = 0;
+  w.to_a = [&](const net::Packet& p) { client.on_packet(p); };
+  w.to_b = [&](const net::Packet& p) {
+    if (p.kind == net::PacketKind::kAck) {
+      client_bytes_on_wire += p.size_bytes;
+      EXPECT_EQ(p.size_bytes, net::kHeaderBytes);
+    }
+    server.on_packet(p);
+  };
+  server.listen([&](NodeId peer, std::uint32_t flow, std::uint32_t id,
+                    std::uint32_t, std::uint32_t tag) {
+    server.send_message(peer, flow, id, tag, tag);
+  });
+  client.set_message_handler([](NodeId, std::uint32_t, std::uint32_t,
+                                std::uint32_t, std::uint32_t) {});
+  client.connect(NodeId{2}, 1, [&](NodeId peer, std::uint32_t flow) {
+    client.send_message(peer, flow, 1, 200, 50'000);
+  });
+  w.sim.run();
+  EXPECT_GT(client_bytes_on_wire, 0u);
+}
+
+}  // namespace
+}  // namespace stopwatch::transport
