@@ -3,7 +3,6 @@
 
 #include <cmath>
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -162,18 +161,6 @@ inline stats::ChiSquaredDetector make_detector(
   return stats::ChiSquaredDetector::from_samples(
       stats::Ecdf(null_samples), stats::Ecdf(victim_samples), 40,
       stats::Binning::kEquiprobable);
-}
-
-inline void print_detection_table(const char* title,
-                                  const std::vector<double>& null_samples,
-                                  const std::vector<double>& victim_samples) {
-  const auto det = make_detector(null_samples, victim_samples);
-  std::printf("%s\n", title);
-  std::printf("%12s %22s\n", "confidence", "observations needed");
-  for (const auto& row : det.sweep(stats::paper_confidence_grid())) {
-    std::printf("%12.2f %22ld\n", row.confidence, row.observations_needed);
-  }
-  std::printf("\n");
 }
 
 }  // namespace stopwatch::bench

@@ -1,0 +1,8 @@
+// stopwatch_bench — the unified experiment runner. All scenarios live in
+// bench/scenarios/ and self-register with the ScenarioRegistry; this main
+// only forwards to the CLI driver in the library.
+#include "experiment/runner.hpp"
+
+int main(int argc, char** argv) {
+  return stopwatch::experiment::run_cli(argc, argv);
+}

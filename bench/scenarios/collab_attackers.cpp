@@ -1,0 +1,84 @@
+// Scenario E10 — Paper Sec. IX: collaborating attacker VMs.
+//
+// A second attacker VM induces load on machines hosting replicas of the
+// first attacker VM, slowing them until they are marginalized from the
+// median — the surviving proposals then reflect the victim-coresident
+// replica. The paper's countermeasure: more replicas (3 -> 5) force the
+// attacker to marginalize several machines at once.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "experiment/registry.hpp"
+
+namespace stopwatch::bench {
+namespace {
+
+using experiment::ParamSpec;
+using experiment::Result;
+using experiment::ScenarioContext;
+
+long detect_at_99(const TimingScenarioConfig& base) {
+  TimingScenarioConfig clean = base;
+  clean.victim_present = false;
+  TimingScenarioConfig vic = base;
+  vic.victim_present = true;
+  const auto r_clean = run_timing_scenario(clean);
+  const auto r_vic = run_timing_scenario(vic);
+  return make_detector(r_clean.inter_arrival_ms, r_vic.inter_arrival_ms)
+      .observations_needed(0.99);
+}
+
+struct Row {
+  int replicas;
+  int marginalized;
+};
+
+Result run(const ScenarioContext& ctx) {
+  const std::vector<Row> rows =
+      ctx.smoke() ? std::vector<Row>{{3, 0}, {3, 2}, {5, 2}}
+                  : std::vector<Row>{{3, 0}, {3, 1}, {3, 2}, {5, 0},
+                                     {5, 1}, {5, 2}, {5, 3}};
+
+  Result result("collab_attackers");
+  std::vector<double> replicas;
+  std::vector<double> marginalized;
+  std::vector<double> obs99;
+  for (const Row& row : rows) {
+    TimingScenarioConfig tc;
+    tc.replica_count = row.replicas;
+    tc.run_time = Duration::seconds(ctx.param("run_time_s"));
+    tc.seed = ctx.seed() ^ 91;
+    tc.marginalize_machines = row.marginalized;
+    tc.marginalize_load = ctx.param("marginalize_load");
+    replicas.push_back(row.replicas);
+    marginalized.push_back(row.marginalized);
+    obs99.push_back(static_cast<double>(detect_at_99(tc)));
+  }
+  result.add_series("replicas", "VMs", replicas);
+  result.add_series("marginalized_hosts", "machines", marginalized);
+  result.add_series("obs_needed_at_99", "observations", obs99);
+  result.add_metric("obs99_3r_unmarginalized", obs99.front(), "observations");
+  result.add_metric("obs99_last_row", obs99.back(), "observations");
+  result.set_note(
+      "Paper shape check: marginalizing hosts of a 3-replica VM weakens the "
+      "defense (fewer observations needed); with 5 replicas the attacker "
+      "must marginalize several hosts to regain the same advantage.");
+  return result;
+}
+
+[[maybe_unused]] const experiment::ScenarioRegistrar kRegistrar{{
+    .name = "collab_attackers",
+    .description =
+        "Sec. IX: collaborating attacker VMs marginalizing replica hosts, "
+        "and the more-replicas countermeasure",
+    .params = {ParamSpec{"run_time_s", "simulated seconds per run", 30.0,
+                         5.0}.with_range(0.01, 3600),
+               ParamSpec{"marginalize_load",
+                         "induced load on marginalized hosts", 2.0}
+                   .with_range(0, 100)},
+    .deterministic = true,
+    .run = run,
+}};
+
+}  // namespace
+}  // namespace stopwatch::bench

@@ -1,0 +1,128 @@
+// Scenario E3 — Paper Fig. 4(a,b): measured virtual inter-packet delivery
+// times at an attacker VM, with one replica coresident with a file-serving
+// victim versus no victim, plus the chi-squared observations-needed
+// comparison against unmodified Xen.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "experiment/registry.hpp"
+
+namespace stopwatch::bench {
+namespace {
+
+using experiment::ParamSpec;
+using experiment::Result;
+using experiment::ScenarioContext;
+
+Result run(const ScenarioContext& ctx) {
+  TimingScenarioConfig base;
+  base.run_time = Duration::seconds(ctx.param("run_time_s"));
+  base.broadcast_rate_hz = ctx.param("broadcast_rate_hz");
+  base.seed = ctx.seed();
+
+  TimingScenarioConfig sw_victim = base;
+  sw_victim.stopwatch = true;
+  sw_victim.victim_present = true;
+  TimingScenarioConfig sw_clean = sw_victim;
+  sw_clean.victim_present = false;
+  TimingScenarioConfig bx_victim = base;
+  bx_victim.stopwatch = false;
+  bx_victim.victim_present = true;
+  TimingScenarioConfig bx_clean = bx_victim;
+  bx_clean.victim_present = false;
+
+  const auto r_sw_victim = run_timing_scenario(sw_victim);
+  const auto r_sw_clean = run_timing_scenario(sw_clean);
+  const auto r_bx_victim = run_timing_scenario(bx_victim);
+  const auto r_bx_clean = run_timing_scenario(bx_clean);
+
+  Result result("fig4_interpacket");
+  result.add_metric("samples_stopwatch_victim",
+                    static_cast<double>(r_sw_victim.inter_arrival_ms.size()),
+                    "samples");
+  result.add_metric("samples_stopwatch_clean",
+                    static_cast<double>(r_sw_clean.inter_arrival_ms.size()),
+                    "samples");
+  result.add_metric("samples_xen_victim",
+                    static_cast<double>(r_bx_victim.inter_arrival_ms.size()),
+                    "samples");
+  result.add_metric("samples_xen_clean",
+                    static_cast<double>(r_bx_clean.inter_arrival_ms.size()),
+                    "samples");
+  result.add_metric("replicas_deterministic",
+                    r_sw_victim.deterministic && r_sw_clean.deterministic
+                        ? 1.0
+                        : 0.0,
+                    "bool");
+  result.add_metric(
+      "divergences",
+      static_cast<double>(r_sw_victim.divergences + r_sw_clean.divergences),
+      "events");
+  result.add_summary_metrics("inter_arrival_stopwatch_victim", "ms",
+                             r_sw_victim.inter_arrival_ms);
+  result.add_summary_metrics("inter_arrival_stopwatch_clean", "ms",
+                             r_sw_clean.inter_arrival_ms);
+
+  // Fig. 4(a): the CDF quantile grid of virtual inter-delivery times.
+  const stats::Ecdf sw_clean_ecdf(r_sw_clean.inter_arrival_ms);
+  const stats::Ecdf sw_victim_ecdf(r_sw_victim.inter_arrival_ms);
+  const std::vector<double> qs = {0.05, 0.1, 0.2, 0.3, 0.4,  0.5,
+                                  0.6,  0.7, 0.8, 0.9, 0.95, 0.99};
+  std::vector<double> q_clean;
+  std::vector<double> q_victim;
+  for (const double q : qs) {
+    q_clean.push_back(sw_clean_ecdf.quantile(q));
+    q_victim.push_back(sw_victim_ecdf.quantile(q));
+  }
+  result.add_series("fig4a_cdf_grid", "", qs);
+  result.add_series("fig4a_inter_delivery_clean", "ms", q_clean);
+  result.add_series("fig4a_inter_delivery_victim", "ms", q_victim);
+
+  // Fig. 4(b): observations needed across the paper's confidence grid,
+  // with and without StopWatch (same series layout as fig1b/fig1c).
+  const auto det_sw =
+      make_detector(r_sw_clean.inter_arrival_ms, r_sw_victim.inter_arrival_ms);
+  const auto det_bx =
+      make_detector(r_bx_clean.inter_arrival_ms, r_bx_victim.inter_arrival_ms);
+  std::vector<double> confidences;
+  std::vector<double> obs_sw;
+  std::vector<double> obs_bx;
+  for (const double conf : stats::paper_confidence_grid()) {
+    confidences.push_back(conf);
+    obs_sw.push_back(static_cast<double>(det_sw.observations_needed(conf)));
+    obs_bx.push_back(static_cast<double>(det_bx.observations_needed(conf)));
+  }
+  result.add_series("fig4b_confidence", "", confidences);
+  result.add_series("fig4b_obs_with_stopwatch", "observations", obs_sw);
+  result.add_series("fig4b_obs_without_stopwatch", "observations", obs_bx);
+  const long sw99 = det_sw.observations_needed(0.99);
+  const long bx99 = det_bx.observations_needed(0.99);
+  result.add_metric("obs99_with_stopwatch", static_cast<double>(sw99),
+                    "observations");
+  result.add_metric("obs99_without_stopwatch", static_cast<double>(bx99),
+                    "observations");
+  result.add_metric("strengthening_factor",
+                    static_cast<double>(sw99) / static_cast<double>(bx99),
+                    "x");
+  result.set_note(
+      "Paper shape check: StopWatch strengthens the defense by roughly an "
+      "order of magnitude in observations needed at 0.99 confidence.");
+  return result;
+}
+
+[[maybe_unused]] const experiment::ScenarioRegistrar kRegistrar{{
+    .name = "fig4_interpacket",
+    .description =
+        "Fig. 4: inter-packet delivery timing channel, StopWatch vs "
+        "unmodified Xen (attacker triple, coresident file-serving victim)",
+    .params = {ParamSpec{"run_time_s", "simulated seconds per run", 40.0, 6.0}
+                   .with_range(0.01, 3600),
+               ParamSpec{"broadcast_rate_hz",
+                         "background broadcast packet rate", 80.0}
+                   .with_range(0.1, 10000)},
+    .deterministic = true,
+    .run = run,
+}};
+
+}  // namespace
+}  // namespace stopwatch::bench

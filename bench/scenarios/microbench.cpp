@@ -1,0 +1,138 @@
+// Scenario — microbenchmarks of the core primitives: the simulator event
+// loop, median agreement math, placement construction, and the statistical
+// machinery. These bound simulation throughput, so their ns/op trajectory
+// is what future perf PRs move. Wall-clock measurements make this the one
+// intentionally non-deterministic scenario.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "experiment/registry.hpp"
+#include "placement/placement.hpp"
+#include "sim/simulator.hpp"
+#include "stats/detection.hpp"
+#include "stats/distribution.hpp"
+#include "stats/order_statistics.hpp"
+#include "stats/special_functions.hpp"
+
+namespace stopwatch::bench {
+namespace {
+
+using experiment::ParamSpec;
+using experiment::Result;
+using experiment::ScenarioContext;
+
+/// Runs `body(i)` `iters` times and returns mean wall nanoseconds per call.
+template <typename Body>
+double time_ns_per_op(std::uint64_t iters, Body&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    body(i);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(iters);
+}
+
+/// Defeats dead-code elimination of a computed value.
+volatile double g_sink;
+
+Result run(const ScenarioContext& ctx) {
+  const auto iters = static_cast<std::uint64_t>(ctx.param("iterations"));
+
+  Result result("microbench");
+
+  // Simulator: schedule + run a batch of timers per iteration.
+  const std::uint64_t sim_events = 1000;
+  result.add_metric(
+      "simulator_schedule_run",
+      time_ns_per_op(std::max<std::uint64_t>(1, iters / 1000), [&](auto) {
+        sim::Simulator sim;
+        for (std::uint64_t i = 0; i < sim_events; ++i) {
+          sim.schedule_at(RealTime::nanos(i * 100), [] {});
+        }
+        sim.run();
+        g_sink = static_cast<double>(sim.events_executed());
+      }) / static_cast<double>(sim_events),
+      "ns/event");
+
+  Rng rng(ctx.seed());
+  std::int64_t a = rng.uniform_int(0, 1 << 30);
+  std::int64_t b = rng.uniform_int(0, 1 << 30);
+  std::int64_t c = rng.uniform_int(0, 1 << 30);
+  result.add_metric("median3", time_ns_per_op(iters, [&](auto) {
+                      g_sink = static_cast<double>(stats::median3(a, b, c));
+                      ++a;
+                      b += 3;
+                      c -= 2;
+                    }),
+                    "ns/op");
+
+  const std::vector<double> f{0.2, 0.5, 0.7, 0.9, 0.95};
+  result.add_metric("order_statistic_cdf",
+                    time_ns_per_op(std::max<std::uint64_t>(1, iters / 10),
+                                   [&](auto) {
+                                     g_sink = stats::order_statistic_cdf(f, 3);
+                                   }),
+                    "ns/op");
+
+  double p = 0.90;
+  result.add_metric("chi_squared_inverse_cdf",
+                    time_ns_per_op(std::max<std::uint64_t>(1, iters / 100),
+                                   [&](auto) {
+                                     g_sink =
+                                         stats::chi_squared_inverse_cdf(p, 39.0);
+                                     p = p >= 0.99 ? 0.70 : p + 0.001;
+                                   }),
+                    "ns/op");
+
+  const auto base = std::make_shared<stats::Exponential>(1.0);
+  const auto victim = std::make_shared<stats::Exponential>(0.5);
+  result.add_metric(
+      "chi_squared_detector_build",
+      time_ns_per_op(std::max<std::uint64_t>(1, iters / 10000), [&](auto) {
+        const stats::ChiSquaredDetector det(
+            [&](double x) { return base->cdf(x); },
+            [&](double x) { return victim->cdf(x); }, 0.0, 30.0);
+        g_sink = det.noncentrality();
+      }),
+      "ns/op");
+
+  for (const int n : {21, 99, 201}) {
+    result.add_metric(
+        "theorem2_placement_n" + std::to_string(n),
+        time_ns_per_op(std::max<std::uint64_t>(1, iters / 10000), [&](auto) {
+          g_sink = static_cast<double>(
+              placement::theorem2_placement(n, (n - 1) / 2).size());
+        }),
+        "ns/op");
+  }
+
+  Rng exp_rng(ctx.seed() ^ 7);
+  result.add_metric("rng_exponential", time_ns_per_op(iters, [&](auto) {
+                      g_sink = exp_rng.exponential(1.0);
+                    }),
+                    "ns/op");
+
+  result.set_note(
+      "Wall-clock ns/op of the primitives bounding simulation throughput; "
+      "values vary run to run — compare trends, not bytes.");
+  return result;
+}
+
+[[maybe_unused]] const experiment::ScenarioRegistrar kRegistrar{{
+    .name = "microbench",
+    .description =
+        "Microbenchmarks (ns/op) of the simulator loop, median math, "
+        "placement construction, and chi-squared machinery",
+    .params = {ParamSpec{"iterations", "base iteration count", 2'000'000.0,
+                         100'000.0}.with_int_range(1, 1e9)},
+    .deterministic = false,
+    .run = run,
+}};
+
+}  // namespace
+}  // namespace stopwatch::bench

@@ -1,0 +1,24 @@
+// Minimal deterministic JSON emission for experiment results. Numbers use
+// the shortest round-trip representation (std::to_chars), so the same
+// Result always serializes to the same bytes — the property the
+// determinism tests and CI bench-smoke artifacts rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace stopwatch::experiment {
+
+/// Escapes `s` for use inside a JSON string literal (no surrounding quotes).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// `s` as a quoted JSON string.
+[[nodiscard]] std::string json_string(const std::string& s);
+
+/// Shortest round-trip decimal form of `v`; non-finite values map to null
+/// (JSON has no NaN/Inf).
+[[nodiscard]] std::string json_number(double v);
+
+[[nodiscard]] std::string json_number(std::uint64_t v);
+
+}  // namespace stopwatch::experiment

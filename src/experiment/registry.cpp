@@ -1,0 +1,50 @@
+#include "experiment/registry.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace stopwatch::experiment {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  SW_EXPECTS(!scenario.name.empty());
+  SW_EXPECTS(scenario.run != nullptr);
+  SW_EXPECTS(!scenarios_.contains(scenario.name));
+  scenarios_.emplace(scenario.name, std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [_, scenario] : scenarios_) out.push_back(&scenario);
+  return out;
+}
+
+Result ScenarioRegistry::run(const std::string& name, std::uint64_t seed,
+                             bool smoke,
+                             std::map<std::string, double> overrides) const {
+  const Scenario* scenario = find(name);
+  SW_EXPECTS(scenario != nullptr);
+  const ScenarioContext ctx(seed, smoke, std::move(overrides),
+                            scenario->params);
+  Result result = scenario->run(ctx);
+  SW_ENSURES(result.scenario() == scenario->name);
+  result.set_context(seed, smoke, ctx.resolved());
+  return result;
+}
+
+ScenarioRegistrar::ScenarioRegistrar(Scenario scenario) {
+  ScenarioRegistry::instance().add(std::move(scenario));
+}
+
+}  // namespace stopwatch::experiment

@@ -1,0 +1,48 @@
+// Process-wide scenario catalog. Scenario translation units self-register
+// via ScenarioRegistrar at static-initialization time; lookup and listing
+// are name-sorted so registration (link) order never leaks into output.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiment/result.hpp"
+#include "experiment/scenario.hpp"
+
+namespace stopwatch::experiment {
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry (Meyers singleton, safe during static init).
+  static ScenarioRegistry& instance();
+
+  /// Registers a scenario; the name must be unique and the run fn non-null.
+  void add(Scenario scenario);
+
+  /// Looks up a scenario by name; nullptr if unknown.
+  [[nodiscard]] const Scenario* find(const std::string& name) const;
+
+  /// All scenarios, sorted by name.
+  [[nodiscard]] std::vector<const Scenario*> list() const;
+
+  [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
+
+  /// Runs a registered scenario under the given context and stamps the
+  /// Result with that context. The single entry point used by the runner
+  /// and by tests.
+  [[nodiscard]] Result run(const std::string& name, std::uint64_t seed,
+                           bool smoke,
+                           std::map<std::string, double> overrides = {}) const;
+
+ private:
+  std::map<std::string, Scenario> scenarios_;
+};
+
+/// Static-object helper: `static ScenarioRegistrar reg{{...}};` at namespace
+/// scope in a scenario .cpp registers the scenario before main() runs.
+struct ScenarioRegistrar {
+  explicit ScenarioRegistrar(Scenario scenario);
+};
+
+}  // namespace stopwatch::experiment

@@ -1,0 +1,118 @@
+#include "experiment/result.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "experiment/json.hpp"
+#include "stats/summary.hpp"
+
+namespace stopwatch::experiment {
+
+namespace {
+
+std::string pad(int indent) { return std::string(indent, ' '); }
+
+}  // namespace
+
+void Result::add_metric(std::string name, double value, std::string unit) {
+  SW_EXPECTS(!name.empty());
+  SW_EXPECTS(!has_metric(name));
+  metrics_.push_back({std::move(name), value, std::move(unit)});
+}
+
+void Result::add_series(std::string name, std::string unit,
+                        std::vector<double> values) {
+  SW_EXPECTS(!name.empty());
+  series_.push_back({std::move(name), std::move(unit), std::move(values)});
+}
+
+void Result::add_summary_metrics(const std::string& prefix,
+                                 const std::string& unit,
+                                 const std::vector<double>& values) {
+  add_metric(prefix + "_count", static_cast<double>(values.size()), "samples");
+  if (values.empty()) return;
+  const stats::Summary s = stats::summarize(values);
+  add_metric(prefix + "_mean", s.mean, unit);
+  add_metric(prefix + "_p50", s.p50, unit);
+  add_metric(prefix + "_p99", s.p99, unit);
+}
+
+double Result::metric(const std::string& name) const {
+  const auto it = std::find_if(metrics_.begin(), metrics_.end(),
+                               [&](const Metric& m) { return m.name == name; });
+  SW_EXPECTS(it != metrics_.end());
+  return it->value;
+}
+
+bool Result::has_metric(const std::string& name) const {
+  return std::any_of(metrics_.begin(), metrics_.end(),
+                     [&](const Metric& m) { return m.name == name; });
+}
+
+void Result::set_context(std::uint64_t seed, bool smoke,
+                         std::vector<std::pair<std::string, double>> params) {
+  seed_ = seed;
+  smoke_ = smoke;
+  params_ = std::move(params);
+}
+
+std::string Result::to_json(int indent) const {
+  const std::string p0 = pad(indent);
+  const std::string p1 = pad(indent + 2);
+  const std::string p2 = pad(indent + 4);
+  const std::string p3 = pad(indent + 6);
+
+  std::string out = p0 + "{\n";
+  out += p1 + "\"scenario\": " + json_string(scenario_) + ",\n";
+  out += p1 + "\"seed\": " + json_number(seed_) + ",\n";
+  out += p1 + "\"smoke\": " + (smoke_ ? "true" : "false") + ",\n";
+
+  out += p1 + "\"params\": {";
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n") + p2 + json_string(params_[i].first) + ": " +
+           json_number(params_[i].second);
+  }
+  out += params_.empty() ? "},\n" : "\n" + p1 + "},\n";
+
+  out += p1 + "\"metrics\": [";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    const Metric& m = metrics_[i];
+    out += (i == 0 ? "\n" : ",\n") + p2 + "{\"name\": " + json_string(m.name) +
+           ", \"value\": " + json_number(m.value) +
+           ", \"unit\": " + json_string(m.unit) + "}";
+  }
+  out += metrics_.empty() ? "]" : "\n" + p1 + "]";
+
+  if (!series_.empty()) {
+    out += ",\n" + p1 + "\"series\": [";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      const Series& s = series_[i];
+      out += (i == 0 ? "\n" : ",\n") + p2 + "{\n";
+      out += p3 + "\"name\": " + json_string(s.name) + ",\n";
+      out += p3 + "\"unit\": " + json_string(s.unit) + ",\n";
+      out += p3 + "\"values\": [";
+      for (std::size_t j = 0; j < s.values.size(); ++j) {
+        out += (j == 0 ? "" : ", ") + json_number(s.values[j]);
+      }
+      out += "]\n" + p2 + "}";
+    }
+    out += "\n" + p1 + "]";
+  }
+
+  if (!note_.empty()) {
+    out += ",\n" + p1 + "\"note\": " + json_string(note_);
+  }
+  out += "\n" + p0 + "}";
+  return out;
+}
+
+std::string report_to_json(const std::vector<Result>& results) {
+  std::string out = "{\n  \"schema\": \"stopwatch-bench/1\",\n  \"results\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n") + results[i].to_json(4);
+  }
+  out += results.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace stopwatch::experiment

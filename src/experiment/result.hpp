@@ -1,0 +1,79 @@
+// The experiment result model: scalar Metrics, figure-shaped Series, and a
+// deterministic JSON writer. Every scenario run produces exactly one Result;
+// the runner stamps it with the context (seed, smoke, resolved parameters)
+// before serialization, so BENCH_*.json trajectories are self-describing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stopwatch::experiment {
+
+/// One named scalar measurement (e.g. "obs_needed_at_99", unit
+/// "observations").
+struct Metric {
+  std::string name;
+  double value{0.0};
+  std::string unit;
+};
+
+/// One named vector of measurements sharing a unit (e.g. a CDF grid or a
+/// per-load-level latency curve).
+struct Series {
+  std::string name;
+  std::string unit;
+  std::vector<double> values;
+};
+
+/// The outcome of one scenario run.
+class Result {
+ public:
+  Result() = default;
+  explicit Result(std::string scenario) : scenario_(std::move(scenario)) {}
+
+  void add_metric(std::string name, double value, std::string unit = "");
+  void add_series(std::string name, std::string unit,
+                  std::vector<double> values);
+  /// Summarizes `values` into <prefix>_{count,mean,p50,p99} metrics — the
+  /// compact form scenarios use for large sample vectors.
+  void add_summary_metrics(const std::string& prefix, const std::string& unit,
+                           const std::vector<double>& values);
+  /// Free-text observation, e.g. the paper shape check the scenario verifies.
+  void set_note(std::string note) { note_ = std::move(note); }
+
+  [[nodiscard]] const std::string& scenario() const { return scenario_; }
+  [[nodiscard]] const std::vector<Metric>& metrics() const { return metrics_; }
+  [[nodiscard]] const std::vector<Series>& series() const { return series_; }
+  [[nodiscard]] const std::string& note() const { return note_; }
+
+  /// Looks up a metric by name; fails the contract if absent.
+  [[nodiscard]] double metric(const std::string& name) const;
+  [[nodiscard]] bool has_metric(const std::string& name) const;
+
+  // Stamped by the runner before serialization.
+  void set_context(std::uint64_t seed, bool smoke,
+                   std::vector<std::pair<std::string, double>> params);
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Serializes to deterministic, pretty-printed JSON (2-space indent).
+  /// `indent` is the number of leading spaces applied to every line, so
+  /// results can be nested inside a report object.
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+
+ private:
+  std::string scenario_;
+  std::uint64_t seed_{0};
+  bool smoke_{false};
+  std::vector<std::pair<std::string, double>> params_;
+  std::vector<Metric> metrics_;
+  std::vector<Series> series_;
+  std::string note_;
+};
+
+/// A full runner invocation: one Result per executed scenario, wrapped with
+/// a schema tag so downstream tooling can detect format drift.
+[[nodiscard]] std::string report_to_json(const std::vector<Result>& results);
+
+}  // namespace stopwatch::experiment

@@ -1,0 +1,266 @@
+#include "experiment/runner.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <string_view>
+
+#include "experiment/registry.hpp"
+
+namespace stopwatch::experiment {
+
+namespace {
+
+constexpr std::string_view kUsage =
+    "usage: stopwatch_bench [options]\n"
+    "  --list               list registered scenarios and their parameters\n"
+    "  --scenario <name>    run one scenario (repeatable)\n"
+    "  --all                run every registered scenario\n"
+    "  --smoke              short deterministic runs (implies --all unless\n"
+    "                       --scenario is given)\n"
+    "  --seed <n>           base RNG seed (default 1)\n"
+    "  --param <k=v>        override a scenario parameter (applies to each\n"
+    "                       selected scenario that declares <k>)\n"
+    "  --json <path>        write results as JSON to <path>\n"
+    "  --quiet              suppress per-metric human-readable output\n";
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+void print_catalog() {
+  const auto scenarios = ScenarioRegistry::instance().list();
+  std::printf("%zu registered scenarios:\n\n", scenarios.size());
+  for (const Scenario* s : scenarios) {
+    std::printf("%-24s %s%s\n", s->name.c_str(), s->description.c_str(),
+                s->deterministic ? "" : "  [non-deterministic]");
+    for (const ParamSpec& p : s->params) {
+      std::printf("    --param %s=<v>  %s (default %g, smoke %g)\n",
+                  p.name.c_str(), p.description.c_str(), p.default_value,
+                  p.smoke_value);
+    }
+  }
+}
+
+void print_result(const Result& result) {
+  std::printf("--- %s (seed %llu) ---\n", result.scenario().c_str(),
+              static_cast<unsigned long long>(result.seed()));
+  for (const Metric& m : result.metrics()) {
+    std::printf("  %-36s %14g %s\n", m.name.c_str(), m.value, m.unit.c_str());
+  }
+  for (const Series& s : result.series()) {
+    std::printf("  %-36s %11zu pts %s\n", s.name.c_str(), s.values.size(),
+                s.unit.c_str());
+  }
+  if (!result.note().empty()) {
+    std::printf("  note: %s\n", result.note().c_str());
+  }
+}
+
+}  // namespace
+
+bool parse_runner_options(int argc, const char* const* argv,
+                          RunnerOptions& options, std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next_value = [&](std::string_view flag,
+                                std::string_view& out) -> bool {
+      if (i + 1 >= argc) {
+        error = std::string(flag) + " requires a value";
+        return false;
+      }
+      out = argv[++i];
+      return true;
+    };
+
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--all") {
+      options.run_all = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--scenario") {
+      std::string_view v;
+      if (!next_value(arg, v)) return false;
+      options.scenarios.emplace_back(v);
+    } else if (arg == "--seed") {
+      std::string_view v;
+      if (!next_value(arg, v)) return false;
+      if (!parse_u64(v, options.seed)) {
+        error = "--seed expects an unsigned integer, got '" + std::string(v) +
+                "'";
+        return false;
+      }
+    } else if (arg == "--json") {
+      std::string_view v;
+      if (!next_value(arg, v)) return false;
+      options.json_path = std::string(v);
+    } else if (arg == "--param") {
+      std::string_view v;
+      if (!next_value(arg, v)) return false;
+      const std::size_t eq = v.find('=');
+      double value = 0.0;
+      if (eq == std::string_view::npos || eq == 0 ||
+          !parse_double(v.substr(eq + 1), value)) {
+        error = "--param expects <name>=<number>, got '" + std::string(v) + "'";
+        return false;
+      }
+      options.param_overrides.emplace_back(std::string(v.substr(0, eq)), value);
+    } else {
+      error = "unknown argument '" + std::string(arg) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_cli(int argc, const char* const* argv) {
+  RunnerOptions options;
+  std::string error;
+  if (!parse_runner_options(argc, argv, options, error)) {
+    std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                 std::string(kUsage).c_str());
+    return 2;
+  }
+
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  if (options.list) {
+    print_catalog();
+    return 0;
+  }
+
+  std::vector<std::string> selection = options.scenarios;
+  if (selection.empty() && (options.run_all || options.smoke)) {
+    for (const Scenario* s : registry.list()) selection.push_back(s->name);
+  }
+  if (selection.empty()) {
+    std::fprintf(stderr, "%s", std::string(kUsage).c_str());
+    return 2;
+  }
+
+  std::vector<const Scenario*> selected;
+  selected.reserve(selection.size());
+  for (const std::string& name : selection) {
+    const Scenario* scenario = registry.find(name);
+    if (scenario == nullptr) {
+      std::fprintf(stderr, "error: unknown scenario '%s'; --list shows %zu\n",
+                   name.c_str(), registry.size());
+      return 2;
+    }
+    selected.push_back(scenario);
+  }
+
+  // Last occurrence wins for repeated --param keys, matching the usual CLI
+  // convention for appended overrides (the map range constructor would keep
+  // an unspecified one).
+  std::map<std::string, double> overrides;
+  for (const auto& [param, value] : options.param_overrides) {
+    overrides[param] = value;
+  }
+
+  // An override must be declared by at least one selected scenario and be
+  // valid for every selected scenario that declares it; the rest simply
+  // don't receive it, so --param composes with --all/--smoke sweeps.
+  for (const auto& [param, value] : overrides) {
+    bool declared = false;
+    for (const Scenario* scenario : selected) {
+      const auto spec =
+          std::find_if(scenario->params.begin(), scenario->params.end(),
+                       [&](const ParamSpec& p) { return p.name == param; });
+      if (spec == scenario->params.end()) continue;
+      declared = true;
+      if (value < spec->min_value || value > spec->max_value) {
+        std::fprintf(stderr,
+                     "error: --param %s=%g is out of range [%g, %g] for "
+                     "scenario '%s'\n",
+                     param.c_str(), value, spec->min_value, spec->max_value,
+                     scenario->name.c_str());
+        return 2;
+      }
+      if (spec->integral && std::nearbyint(value) != value) {
+        std::fprintf(stderr,
+                     "error: --param %s=%g must be a whole number for "
+                     "scenario '%s'\n",
+                     param.c_str(), value, scenario->name.c_str());
+        return 2;
+      }
+    }
+    if (!declared) {
+      std::fprintf(stderr,
+                   "error: no selected scenario declares parameter '%s' "
+                   "(--list shows schemas)\n",
+                   param.c_str());
+      return 2;
+    }
+  }
+
+  // Open the report file before running anything: discovering an unwritable
+  // path after a full-length scenario sweep would waste the whole run.
+  std::ofstream json_out;
+  if (!options.json_path.empty()) {
+    json_out.open(options.json_path, std::ios::binary);
+    if (!json_out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   options.json_path.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<Result> results;
+  results.reserve(selected.size());
+  for (const Scenario* scenario : selected) {
+    std::map<std::string, double> scenario_overrides;
+    for (const auto& [param, value] : overrides) {
+      const bool declared =
+          std::any_of(scenario->params.begin(), scenario->params.end(),
+                      [&](const ParamSpec& p) { return p.name == param; });
+      if (declared) scenario_overrides[param] = value;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      results.push_back(registry.run(scenario->name, options.seed,
+                                     options.smoke, scenario_overrides));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: scenario '%s' failed: %s\n",
+                   scenario->name.c_str(), e.what());
+      return 1;
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!options.quiet) {
+      print_result(results.back());
+      std::printf("  [%.2fs wall]\n\n", elapsed_s);
+    } else {
+      std::printf("%-24s done in %.2fs\n", scenario->name.c_str(), elapsed_s);
+    }
+  }
+
+  if (json_out.is_open()) {
+    json_out << report_to_json(results);
+    json_out.close();
+    if (!json_out) {
+      std::fprintf(stderr, "error: failed writing '%s'\n",
+                   options.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu result(s) to %s\n", results.size(),
+                options.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace stopwatch::experiment

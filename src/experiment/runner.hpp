@@ -1,0 +1,35 @@
+// Command-line driver for the scenario registry — the implementation of the
+// stopwatch_bench binary. Kept in the library so tests can exercise the
+// exact CLI surface CI uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stopwatch::experiment {
+
+/// Parsed stopwatch_bench command line.
+struct RunnerOptions {
+  bool list{false};
+  bool smoke{false};
+  bool run_all{false};
+  bool quiet{false};
+  std::uint64_t seed{1};
+  std::vector<std::string> scenarios;
+  std::vector<std::pair<std::string, double>> param_overrides;
+  std::string json_path;
+};
+
+/// Parses argv into options. Returns false (with a message on `error`) on
+/// malformed input.
+[[nodiscard]] bool parse_runner_options(int argc, const char* const* argv,
+                                        RunnerOptions& options,
+                                        std::string& error);
+
+/// Runs the experiment CLI: --list / --scenario <name> / --all / --seed N /
+/// --smoke / --param k=v / --json <path>. Returns a process exit code.
+int run_cli(int argc, const char* const* argv);
+
+}  // namespace stopwatch::experiment

@@ -1,0 +1,70 @@
+#include "experiment/scenario.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace stopwatch::experiment {
+
+ParamSpec ParamSpec::with_range(double lo, double hi) const {
+  SW_EXPECTS(lo <= hi);
+  SW_EXPECTS(lo <= default_value && default_value <= hi);
+  SW_EXPECTS(lo <= smoke_value && smoke_value <= hi);
+  ParamSpec out = *this;
+  out.min_value = lo;
+  out.max_value = hi;
+  return out;
+}
+
+ParamSpec ParamSpec::with_int_range(double lo, double hi) const {
+  SW_EXPECTS(std::nearbyint(default_value) == default_value);
+  SW_EXPECTS(std::nearbyint(smoke_value) == smoke_value);
+  ParamSpec out = with_range(lo, hi);
+  out.integral = true;
+  return out;
+}
+
+ScenarioContext::ScenarioContext(std::uint64_t seed, bool smoke,
+                                 std::map<std::string, double> overrides,
+                                 const std::vector<ParamSpec>& schema)
+    : seed_(seed), smoke_(smoke) {
+  for (const ParamSpec& spec : schema) {
+    SW_EXPECTS(!values_.contains(spec.name));
+    const auto it = overrides.find(spec.name);
+    if (it != overrides.end()) {
+      SW_EXPECTS(spec.min_value <= it->second && it->second <= spec.max_value);
+      SW_EXPECTS(!spec.integral || std::nearbyint(it->second) == it->second);
+      values_[spec.name] = it->second;
+      overrides.erase(it);
+    } else {
+      values_[spec.name] = smoke ? spec.smoke_value : spec.default_value;
+    }
+    order_.push_back(spec.name);
+  }
+  // Overrides must name declared parameters, or a typo would silently run
+  // the scenario with defaults.
+  SW_EXPECTS(overrides.empty());
+}
+
+double ScenarioContext::param(const std::string& name) const {
+  const auto it = values_.find(name);
+  SW_EXPECTS(it != values_.end());
+  return it->second;
+}
+
+int ScenarioContext::param_int(const std::string& name) const {
+  const double v = param(name);
+  SW_EXPECTS(std::nearbyint(v) == v);
+  return static_cast<int>(v);
+}
+
+std::vector<std::pair<std::string, double>> ScenarioContext::resolved() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(order_.size());
+  for (const std::string& name : order_) {
+    out.emplace_back(name, values_.at(name));
+  }
+  return out;
+}
+
+}  // namespace stopwatch::experiment

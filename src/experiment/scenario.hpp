@@ -1,0 +1,90 @@
+// A Scenario is one self-contained experiment: a name, a description, a
+// numeric parameter schema, and a run function mapping a ScenarioContext
+// (seed + smoke flag + parameter overrides) to a Result. Scenarios
+// self-register with the ScenarioRegistry at static-initialization time;
+// the stopwatch_bench runner and the determinism tests drive them through
+// the registry, never through bespoke mains.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiment/result.hpp"
+
+namespace stopwatch::experiment {
+
+/// One numeric knob a scenario exposes (all StopWatch experiment knobs —
+/// durations, rates, counts — are representable as doubles).
+struct ParamSpec {
+  ParamSpec(std::string name, std::string description, double default_value)
+      : ParamSpec(std::move(name), std::move(description), default_value,
+                  default_value) {}
+  /// `smoke_value` is substituted in --smoke mode — the short deterministic
+  /// CI configuration of the knob.
+  ParamSpec(std::string name, std::string description, double default_value,
+            double smoke_value)
+      : name(std::move(name)),
+        description(std::move(description)),
+        default_value(default_value),
+        smoke_value(smoke_value) {}
+
+  /// Returns a copy restricted to [lo, hi]. Out-of-range CLI overrides are
+  /// rejected before the scenario runs; a count knob without bounds lets
+  /// `--param rate_count=0` index an empty vector.
+  [[nodiscard]] ParamSpec with_range(double lo, double hi) const;
+  /// with_range plus an integrality requirement, for count/iteration knobs
+  /// read through param_int: fractional overrides are rejected up front.
+  [[nodiscard]] ParamSpec with_int_range(double lo, double hi) const;
+
+  std::string name;
+  std::string description;
+  double default_value;
+  double smoke_value;
+  double min_value = -std::numeric_limits<double>::infinity();
+  double max_value = std::numeric_limits<double>::infinity();
+  bool integral = false;
+};
+
+/// The resolved inputs of one scenario run.
+class ScenarioContext {
+ public:
+  ScenarioContext(std::uint64_t seed, bool smoke,
+                  std::map<std::string, double> overrides,
+                  const std::vector<ParamSpec>& schema);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] bool smoke() const { return smoke_; }
+
+  /// The effective value of a declared parameter: the CLI override if given,
+  /// else the schema's smoke/default value. Fails the contract for names
+  /// not in the schema — scenarios must declare their knobs.
+  [[nodiscard]] double param(const std::string& name) const;
+  [[nodiscard]] int param_int(const std::string& name) const;
+
+  /// All effective parameter values in schema order (for Result stamping).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> resolved() const;
+
+ private:
+  std::uint64_t seed_;
+  bool smoke_;
+  std::map<std::string, double> values_;
+  std::vector<std::string> order_;
+};
+
+/// A registered experiment.
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::vector<ParamSpec> params;
+  /// Whether two runs with the same context must produce byte-identical
+  /// JSON. False only for scenarios measuring wall-clock time.
+  bool deterministic{true};
+  std::function<Result(const ScenarioContext&)> run;
+};
+
+}  // namespace stopwatch::experiment
