@@ -1,0 +1,9 @@
+// stopwatch_bench_diff — compares a baseline stopwatch-bench/1 report
+// against a candidate and exits non-zero when a ns-class metric regresses
+// beyond the threshold. The logic lives in the library (experiment/diff.hpp)
+// so tests exercise the exact gate CI uses.
+#include "experiment/diff.hpp"
+
+int main(int argc, char** argv) {
+  return stopwatch::experiment::run_diff_cli(argc, argv);
+}

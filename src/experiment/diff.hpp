@@ -1,0 +1,100 @@
+// Bench-trajectory diff: compares two stopwatch-bench/1 reports (a baseline
+// from main and a candidate from the PR) metric by metric, and gates CI on
+// wall-clock regressions. Only ns-class metrics (unit "ns" or "ns/...") are
+// gated — they are the perf trajectory; deterministic simulation metrics
+// change only when behavior changes, so their deltas are reported as signal
+// but never fail the build. Implements the stopwatch_bench_diff binary; kept
+// in the library so tests can exercise the exact gate CI uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stopwatch::experiment {
+
+/// One metric of one scenario as read from a stopwatch-bench/1 report.
+struct BenchMetric {
+  std::string name;
+  double value{0.0};
+  std::string unit;
+};
+
+/// One scenario's result as read from a stopwatch-bench/1 report. Only the
+/// fields the diff consumes are retained.
+struct BenchResult {
+  std::string scenario;
+  std::uint64_t seed{0};
+  std::vector<BenchMetric> metrics;
+};
+
+/// A parsed stopwatch-bench/1 report.
+struct BenchReport {
+  std::string schema;
+  std::vector<BenchResult> results;
+};
+
+/// Parses a report produced by `stopwatch_bench --json`. Returns false with
+/// a message on `error` for malformed JSON or a schema tag other than
+/// stopwatch-bench/1.
+[[nodiscard]] bool parse_bench_report(const std::string& json,
+                                      BenchReport& report, std::string& error);
+
+/// The comparison of one metric present in both reports.
+struct MetricDelta {
+  std::string scenario;
+  std::string metric;
+  std::string unit;
+  double baseline{0.0};
+  double candidate{0.0};
+  /// (candidate - baseline) / baseline; +inf when baseline is 0 and the
+  /// candidate is not.
+  double delta_fraction{0.0};
+  /// True for ns-class metrics — the ones the threshold applies to.
+  bool gated{false};
+  /// gated && delta_fraction > threshold.
+  bool regression{false};
+};
+
+struct DiffOptions {
+  /// Maximum tolerated fractional increase of a gated metric (0.10 = +10%).
+  double threshold{0.10};
+};
+
+/// The full baseline-vs-candidate comparison. Missing/new entries (metrics
+/// or whole scenarios present on only one side) are reported but never
+/// fatal: adding a scenario or renaming a metric must not require a
+/// baseline reset to land.
+struct DiffReport {
+  std::vector<MetricDelta> deltas;
+  /// "scenario.metric" present in the baseline only.
+  std::vector<std::string> missing_in_candidate;
+  /// "scenario.metric" present in the candidate only.
+  std::vector<std::string> new_in_candidate;
+  std::size_t regressions{0};
+
+  [[nodiscard]] bool passed() const { return regressions == 0; }
+};
+
+[[nodiscard]] DiffReport diff_reports(const BenchReport& baseline,
+                                      const BenchReport& candidate,
+                                      const DiffOptions& options);
+
+/// Human-readable per-metric delta table (gated metrics always; ungated
+/// metrics only when they changed) plus the missing/new lists and verdict.
+[[nodiscard]] std::string render_diff_table(const DiffReport& report,
+                                            const DiffOptions& options);
+
+/// Same content as GitHub-flavored markdown, for $GITHUB_STEP_SUMMARY.
+[[nodiscard]] std::string render_diff_markdown(const DiffReport& report,
+                                               const DiffOptions& options);
+
+/// Runs the stopwatch_bench_diff CLI:
+///   stopwatch_bench_diff <baseline.json> <candidate.json>
+///       [--threshold <frac>] [--markdown <path>] [--quiet]
+/// Exit codes: 0 = no gated regression, 1 = regression beyond threshold,
+/// 2 = usage / IO / parse error.
+int run_diff_cli(int argc, const char* const* argv);
+
+}  // namespace stopwatch::experiment

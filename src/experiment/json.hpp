@@ -1,11 +1,16 @@
-// Minimal deterministic JSON emission for experiment results. Numbers use
-// the shortest round-trip representation (std::to_chars), so the same
-// Result always serializes to the same bytes — the property the
-// determinism tests and CI bench-smoke artifacts rely on.
+// Minimal deterministic JSON emission and reading for experiment results.
+// Numbers use the shortest round-trip representation (std::to_chars), so
+// the same Result always serializes to the same bytes — the property the
+// determinism tests and CI bench-smoke artifacts rely on. The reader is
+// the consumer half: stopwatch_bench_diff loads stopwatch-bench/1 reports
+// through JsonValue to compare bench trajectories in CI.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace stopwatch::experiment {
 
@@ -20,5 +25,44 @@ namespace stopwatch::experiment {
 [[nodiscard]] std::string json_number(double v);
 
 [[nodiscard]] std::string json_number(std::uint64_t v);
+
+/// A parsed JSON document node. Objects preserve member order and allow
+/// duplicate-free lookup by key; accessors contract-check the kind, so a
+/// schema mismatch surfaces as a ContractViolation instead of garbage.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses `text` (a complete JSON document; trailing garbage is an
+  /// error). Returns false with a position-annotated message on `error`.
+  [[nodiscard]] static bool parse(std::string_view text, JsonValue& out,
+                                  std::string& error);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_{Kind::kNull};
+  bool bool_{false};
+  double number_{0.0};
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
 
 }  // namespace stopwatch::experiment

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "common/rng.hpp"
 
 namespace stopwatch::experiment {
 
@@ -35,8 +36,8 @@ Result ScenarioRegistry::run(const std::string& name, std::uint64_t seed,
                              std::map<std::string, double> overrides) const {
   const Scenario* scenario = find(name);
   SW_EXPECTS(scenario != nullptr);
-  const ScenarioContext ctx(seed, smoke, std::move(overrides),
-                            scenario->params);
+  const ScenarioContext ctx(derive_scenario_seed(seed, name), smoke,
+                            std::move(overrides), scenario->params);
   Result result = scenario->run(ctx);
   SW_ENSURES(result.scenario() == scenario->name);
   result.set_context(seed, smoke, ctx.resolved());
@@ -45,6 +46,19 @@ Result ScenarioRegistry::run(const std::string& name, std::uint64_t seed,
 
 ScenarioRegistrar::ScenarioRegistrar(Scenario scenario) {
   ScenarioRegistry::instance().add(std::move(scenario));
+}
+
+std::uint64_t derive_scenario_seed(std::uint64_t seed,
+                                   const std::string& name) {
+  // FNV-1a over the name gives a stable per-scenario tag; splitmix64 then
+  // mixes tag and seed so adjacent seeds do not yield adjacent streams.
+  std::uint64_t tag = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    tag ^= static_cast<unsigned char>(c);
+    tag *= 0x100000001b3ULL;
+  }
+  SplitMix64 mixer(seed ^ tag);
+  return mixer.next();
 }
 
 }  // namespace stopwatch::experiment

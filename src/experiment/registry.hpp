@@ -28,9 +28,13 @@ class ScenarioRegistry {
 
   [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
 
-  /// Runs a registered scenario under the given context and stamps the
-  /// Result with that context. The single entry point used by the runner
-  /// and by tests.
+  /// Runs a registered scenario and stamps the Result with the invocation
+  /// context. The single entry point used by the runner and by tests. The
+  /// scenario's RNG stream is seeded with derive_scenario_seed(seed, name),
+  /// so sibling scenarios of one invocation draw decorrelated streams and a
+  /// scenario's output depends only on (seed, name, params) — never on
+  /// which other scenarios ran, or on what thread ran it. The Result is
+  /// stamped with the invocation `seed`, the value a user re-runs with.
   [[nodiscard]] Result run(const std::string& name, std::uint64_t seed,
                            bool smoke,
                            std::map<std::string, double> overrides = {}) const;
@@ -38,6 +42,12 @@ class ScenarioRegistry {
  private:
   std::map<std::string, Scenario> scenarios_;
 };
+
+/// Expands one user-facing seed into the per-scenario stream seed: an
+/// FNV-1a hash of `name` mixed with `seed` through splitmix64. Stable
+/// across platforms and runs — part of the stopwatch-bench/1 contract.
+[[nodiscard]] std::uint64_t derive_scenario_seed(std::uint64_t seed,
+                                                 const std::string& name);
 
 /// Static-object helper: `static ScenarioRegistrar reg{{...}};` at namespace
 /// scope in a scenario .cpp registers the scenario before main() runs.

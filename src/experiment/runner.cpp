@@ -4,12 +4,15 @@
 #include <charconv>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <string_view>
 
+#include "common/thread_pool.hpp"
 #include "experiment/registry.hpp"
 
 namespace stopwatch::experiment {
@@ -24,6 +27,9 @@ constexpr std::string_view kUsage =
     "  --smoke              short deterministic runs (implies --all unless\n"
     "                       --scenario is given)\n"
     "  --seed <n>           base RNG seed (default 1)\n"
+    "  --jobs <n>           run scenarios on <n> worker threads (default 1;\n"
+    "                       0 = one per hardware thread); results stay in\n"
+    "                       deterministic registry order\n"
     "  --param <k=v>        override a scenario parameter (applies to each\n"
     "                       selected scenario that declares <k>)\n"
     "  --json <path>        write results as JSON to <path>\n"
@@ -68,7 +74,82 @@ void print_result(const Result& result) {
   }
 }
 
+/// The per-task body: runs one scenario into its own outcome slot,
+/// translating every escape (contract violations, scenario bugs, non-std
+/// exceptions) into a captured per-scenario error so siblings keep running.
+void run_one_scenario(const Scenario& scenario,
+                      const std::map<std::string, double>& overrides,
+                      std::uint64_t seed, bool smoke, ScenarioOutcome& out) {
+  out.name = scenario.name;
+  std::map<std::string, double> scenario_overrides;
+  for (const auto& [param, value] : overrides) {
+    const bool declared =
+        std::any_of(scenario.params.begin(), scenario.params.end(),
+                    [&](const ParamSpec& p) { return p.name == param; });
+    if (declared) scenario_overrides[param] = value;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    out.result = ScenarioRegistry::instance().run(
+        scenario.name, seed, smoke, std::move(scenario_overrides));
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "unknown non-standard exception";
+  }
+  out.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
 }  // namespace
+
+std::vector<ScenarioOutcome> run_scenarios(
+    const std::vector<const Scenario*>& selected,
+    const std::map<std::string, double>& overrides, std::uint64_t seed,
+    bool smoke, std::uint64_t jobs, const OutcomeCallback& on_complete) {
+  std::vector<ScenarioOutcome> outcomes(selected.size());
+  const std::size_t workers = std::min<std::size_t>(
+      recommended_jobs(static_cast<std::size_t>(jobs)),
+      std::max<std::size_t>(1, selected.size()));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      run_one_scenario(*selected[i], overrides, seed, smoke, outcomes[i]);
+      if (on_complete) on_complete(outcomes[i], i);
+    }
+    return outcomes;
+  }
+
+  std::mutex mutex;
+  std::condition_variable completed;
+  std::vector<char> done(selected.size(), 0);
+  {
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      pool.submit([&, i] {
+        run_one_scenario(*selected[i], overrides, seed, smoke, outcomes[i]);
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          done[i] = 1;
+        }
+        completed.notify_all();
+      });
+    }
+    // Publish outcomes progressively but strictly in selection order: the
+    // callback (and therefore stdout and the JSON report) never observes
+    // completion order, which is what keeps --jobs N byte-identical to
+    // --jobs 1.
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      std::unique_lock<std::mutex> lock(mutex);
+      completed.wait(lock, [&] { return done[i] != 0; });
+      lock.unlock();
+      if (on_complete) on_complete(outcomes[i], i);
+    }
+  }
+  return outcomes;
+}
 
 bool parse_runner_options(int argc, const char* const* argv,
                           RunnerOptions& options, std::string& error) {
@@ -102,6 +183,17 @@ bool parse_runner_options(int argc, const char* const* argv,
       if (!parse_u64(v, options.seed)) {
         error = "--seed expects an unsigned integer, got '" + std::string(v) +
                 "'";
+        return false;
+      }
+    } else if (arg == "--jobs") {
+      std::string_view v;
+      if (!next_value(arg, v)) return false;
+      // parse_u64 rejects signs, so `--jobs -1` fails here rather than
+      // wrapping to a huge thread count via an atoi-style fallback.
+      if (!parse_u64(v, options.jobs)) {
+        error = "--jobs expects a non-negative integer (0 = one per "
+                "hardware thread), got '" +
+                std::string(v) + "'";
         return false;
       }
     } else if (arg == "--json") {
@@ -219,34 +311,38 @@ int run_cli(int argc, const char* const* argv) {
     }
   }
 
-  std::vector<Result> results;
-  results.reserve(selected.size());
-  for (const Scenario* scenario : selected) {
-    std::map<std::string, double> scenario_overrides;
-    for (const auto& [param, value] : overrides) {
-      const bool declared =
-          std::any_of(scenario->params.begin(), scenario->params.end(),
-                      [&](const ParamSpec& p) { return p.name == param; });
-      if (declared) scenario_overrides[param] = value;
-    }
-    const auto t0 = std::chrono::steady_clock::now();
-    try {
-      results.push_back(registry.run(scenario->name, options.seed,
-                                     options.smoke, scenario_overrides));
-    } catch (const std::exception& e) {
+  const OutcomeCallback print_outcome = [&](const ScenarioOutcome& outcome,
+                                            std::size_t) {
+    if (!outcome.ok) {
       std::fprintf(stderr, "error: scenario '%s' failed: %s\n",
-                   scenario->name.c_str(), e.what());
-      return 1;
+                   outcome.name.c_str(), outcome.error.c_str());
+      return;
     }
-    const double elapsed_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
     if (!options.quiet) {
-      print_result(results.back());
-      std::printf("  [%.2fs wall]\n\n", elapsed_s);
+      print_result(outcome.result);
+      std::printf("  [%.2fs wall]\n\n", outcome.elapsed_s);
     } else {
-      std::printf("%-24s done in %.2fs\n", scenario->name.c_str(), elapsed_s);
+      std::printf("%-24s done in %.2fs\n", outcome.name.c_str(),
+                  outcome.elapsed_s);
     }
+  };
+  const std::vector<ScenarioOutcome> outcomes =
+      run_scenarios(selected, overrides, options.seed, options.smoke,
+                    options.jobs, print_outcome);
+
+  std::vector<Result> results;
+  results.reserve(outcomes.size());
+  std::size_t failures = 0;
+  for (const ScenarioOutcome& outcome : outcomes) {
+    if (outcome.ok) {
+      results.push_back(outcome.result);
+    } else {
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "error: %zu of %zu scenario(s) failed\n", failures,
+                 outcomes.size());
   }
 
   if (json_out.is_open()) {
@@ -260,7 +356,7 @@ int run_cli(int argc, const char* const* argv) {
     std::printf("wrote %zu result(s) to %s\n", results.size(),
                 options.json_path.c_str());
   }
-  return 0;
+  return failures > 0 ? 1 : 0;
 }
 
 }  // namespace stopwatch::experiment

@@ -4,9 +4,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "experiment/result.hpp"
+#include "experiment/scenario.hpp"
 
 namespace stopwatch::experiment {
 
@@ -17,6 +22,9 @@ struct RunnerOptions {
   bool run_all{false};
   bool quiet{false};
   std::uint64_t seed{1};
+  /// Worker threads for scenario execution: 1 = sequential (default),
+  /// 0 = one per hardware thread.
+  std::uint64_t jobs{1};
   std::vector<std::string> scenarios;
   std::vector<std::pair<std::string, double>> param_overrides;
   std::string json_path;
@@ -28,8 +36,37 @@ struct RunnerOptions {
                                         RunnerOptions& options,
                                         std::string& error);
 
+/// One scenario's execution outcome within a runner invocation. A throwing
+/// scenario is captured here instead of aborting its siblings.
+struct ScenarioOutcome {
+  std::string name;
+  bool ok{false};
+  /// exception::what() (or a placeholder for non-std exceptions) when !ok.
+  std::string error;
+  /// Valid only when ok.
+  Result result;
+  double elapsed_s{0.0};
+};
+
+/// Invoked once per scenario, in selection order, from the calling thread.
+using OutcomeCallback =
+    std::function<void(const ScenarioOutcome&, std::size_t index)>;
+
+/// Executes `selected` on `jobs` workers (1 = in the calling thread, 0 = one
+/// per hardware thread). Each scenario runs in per-task isolation: its own
+/// derived RNG stream (see derive_scenario_seed), its own Result sink, and
+/// its own exception capture. `overrides` is filtered per scenario to the
+/// parameters it declares. Outcomes are returned — and `on_complete` fires —
+/// in selection order regardless of completion order, so reports are
+/// byte-identical across --jobs values.
+[[nodiscard]] std::vector<ScenarioOutcome> run_scenarios(
+    const std::vector<const Scenario*>& selected,
+    const std::map<std::string, double>& overrides, std::uint64_t seed,
+    bool smoke, std::uint64_t jobs, const OutcomeCallback& on_complete = {});
+
 /// Runs the experiment CLI: --list / --scenario <name> / --all / --seed N /
-/// --smoke / --param k=v / --json <path>. Returns a process exit code.
+/// --smoke / --jobs N / --param k=v / --json <path>. Returns a process exit
+/// code.
 int run_cli(int argc, const char* const* argv);
 
 }  // namespace stopwatch::experiment

@@ -12,6 +12,14 @@ namespace {
 constexpr int kMaxIterations = 500;
 constexpr double kEps = 1e-14;
 constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+constexpr double kPi = 3.14159265358979323846;
+
+/// Lanczos coefficients (g = 7, n = 9), accurate to ~1e-14 relative error
+/// over the positive reals.
+constexpr double kLanczos[] = {
+    0.99999999999980993,     676.5203681218851,     -1259.1392167224028,
+    771.32342877765313,      -176.61502916214059,   12.507343278686905,
+    -0.13857109526572012,    9.9843695780195716e-6, 1.5056327351493116e-7};
 
 /// Series representation of P(a, x), valid (fast-converging) for x < a + 1.
 double gamma_p_series(double a, double x) {
@@ -24,7 +32,7 @@ double gamma_p_series(double a, double x) {
     sum += del;
     if (std::fabs(del) < std::fabs(sum) * kEps) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 /// Continued-fraction representation of Q(a, x), valid for x >= a + 1
@@ -46,10 +54,24 @@ double gamma_q_continued_fraction(double a, double x) {
     h *= del;
     if (std::fabs(del - 1.0) < kEps) break;
   }
-  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
 }
 
 }  // namespace
+
+double log_gamma(double x) {
+  SW_EXPECTS(x > 0.0);
+  // Reflection keeps the Lanczos sum in its accurate range x >= 0.5.
+  if (x < 0.5) return std::log(kPi / std::sin(kPi * x)) - log_gamma(1.0 - x);
+  x -= 1.0;
+  double sum = kLanczos[0];
+  for (int i = 1; i < 9; ++i) {
+    sum += kLanczos[i] / (x + static_cast<double>(i));
+  }
+  const double t = x + 7.5;
+  return 0.5 * std::log(2.0 * kPi) + (x + 0.5) * std::log(t) - t +
+         std::log(sum);
+}
 
 double regularized_gamma_p(double a, double x) {
   SW_EXPECTS(a > 0.0);

@@ -6,6 +6,12 @@
 
 namespace stopwatch::stats {
 
+/// ln Γ(x) for x > 0 (Lanczos approximation, ~1e-14 relative error).
+/// Replaces std::lgamma, which is not thread-safe (it writes the global
+/// `signgam`) — scenarios calling it concurrently under --jobs raced — and
+/// additionally makes the value byte-identical across libm implementations.
+[[nodiscard]] double log_gamma(double x);
+
 /// Regularized lower incomplete gamma P(a, x) = γ(a,x) / Γ(a), for a > 0,
 /// x >= 0. Series expansion for x < a+1, continued fraction otherwise.
 [[nodiscard]] double regularized_gamma_p(double a, double x);

@@ -1,0 +1,78 @@
+// The thread pool behind `stopwatch_bench --jobs`: every submitted task
+// runs exactly once, destruction drains the queue, and wait_idle is a
+// barrier — the properties the parallel runner's determinism rests on.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace stopwatch {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTaskExactlyOnce) {
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  {
+    ThreadPool pool(4);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      pool.submit([&hits, i] { hits[i].fetch_add(1); });
+    }
+  }  // Destructor drains the queue and joins.
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, WaitIdleIsABarrierAndPoolStaysUsable) {
+  std::atomic<int> count{0};
+  ThreadPool pool(3);
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+  // The pool accepts further work after an idle barrier.
+  for (int i = 0; i < 25; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 75);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // Must not deadlock with nothing submitted.
+  EXPECT_EQ(pool.thread_count(), 2u);
+}
+
+TEST(ThreadPool, SingleThreadPreservesSubmissionOrder) {
+  std::vector<int> order;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&order, i] { order.push_back(i); });
+    }
+  }
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, RejectsInvalidConstructionAndTasks) {
+  EXPECT_THROW(ThreadPool(0), ContractViolation);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), ContractViolation);
+}
+
+TEST(RecommendedJobs, ZeroMeansHardwareConcurrency) {
+  EXPECT_EQ(recommended_jobs(1), 1u);
+  EXPECT_EQ(recommended_jobs(7), 7u);
+  EXPECT_GE(recommended_jobs(0), 1u);
+}
+
+}  // namespace
+}  // namespace stopwatch

@@ -1,0 +1,252 @@
+// The bench-trajectory diff gate: the JSON reader must round-trip reports
+// the writer produced, and the comparison must pass improvements, fail
+// ns-class regressions beyond the threshold, and report missing/new
+// metrics without failing — the exact contract CI's gate relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "experiment/diff.hpp"
+#include "experiment/json.hpp"
+#include "experiment/result.hpp"
+
+namespace stopwatch::experiment {
+namespace {
+
+TEST(JsonReader, ParsesScalarsContainersAndEscapes) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(JsonValue::parse(
+      R"({"a": 1.5, "b": [true, false, null], "s": "x\n\"y\" \u00e9"})", v,
+      error))
+      << error;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("a")->as_number(), 1.5);
+  ASSERT_TRUE(v.find("b")->is_array());
+  EXPECT_EQ(v.find("b")->items().size(), 3u);
+  EXPECT_TRUE(v.find("b")->items()[0].as_bool());
+  EXPECT_EQ(v.find("b")->items()[2].kind(), JsonValue::Kind::kNull);
+  EXPECT_EQ(v.find("s")->as_string(), "x\n\"y\" \xc3\xa9");
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(JsonReader, RejectsMalformedDocuments) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse("{", v, error));
+  EXPECT_FALSE(JsonValue::parse("[1,]", v, error));
+  EXPECT_FALSE(JsonValue::parse("{\"a\": 1} trailing", v, error));
+  EXPECT_FALSE(JsonValue::parse("\"\\q\"", v, error));
+  EXPECT_FALSE(JsonValue::parse("\"unterminated", v, error));
+  EXPECT_FALSE(JsonValue::parse("tru", v, error));
+  // Accessing the wrong kind is a contract violation, not silent garbage.
+  ASSERT_TRUE(JsonValue::parse("3", v, error)) << error;
+  EXPECT_THROW(static_cast<void>(v.as_string()), ContractViolation);
+}
+
+/// Builds a stopwatch-bench/1 report string through the real writer.
+std::string make_report(
+    const std::vector<std::pair<std::string,
+                                std::vector<BenchMetric>>>& scenarios) {
+  std::vector<Result> results;
+  for (const auto& [name, metrics] : scenarios) {
+    Result r(name);
+    for (const BenchMetric& m : metrics) {
+      r.add_metric(m.name, m.value, m.unit);
+    }
+    r.set_context(/*seed=*/1, /*smoke=*/true, {});
+    results.push_back(std::move(r));
+  }
+  return report_to_json(results);
+}
+
+TEST(BenchReport, RoundTripsThroughWriterAndReader) {
+  const std::string json = make_report(
+      {{"alpha", {{"lat", 120.0, "ns/op"}, {"obs", 40.0, "observations"}}},
+       {"beta", {{"loop", 9.5, "ns/event"}}}});
+  BenchReport report;
+  std::string error;
+  ASSERT_TRUE(parse_bench_report(json, report, error)) << error;
+  EXPECT_EQ(report.schema, "stopwatch-bench/1");
+  ASSERT_EQ(report.results.size(), 2u);
+  EXPECT_EQ(report.results[0].scenario, "alpha");
+  ASSERT_EQ(report.results[0].metrics.size(), 2u);
+  EXPECT_EQ(report.results[0].metrics[0].name, "lat");
+  EXPECT_EQ(report.results[0].metrics[0].value, 120.0);
+  EXPECT_EQ(report.results[0].metrics[0].unit, "ns/op");
+  EXPECT_EQ(report.results[1].seed, 1u);
+}
+
+TEST(BenchReport, RejectsWrongSchemaAndShape) {
+  BenchReport report;
+  std::string error;
+  EXPECT_FALSE(parse_bench_report("not json", report, error));
+  EXPECT_FALSE(parse_bench_report(
+      R"({"schema": "other/9", "results": []})", report, error));
+  EXPECT_NE(error.find("other/9"), std::string::npos);
+  EXPECT_FALSE(parse_bench_report(R"({"results": []})", report, error));
+}
+
+BenchReport report_with(const std::vector<BenchMetric>& metrics) {
+  BenchReport report;
+  report.schema = "stopwatch-bench/1";
+  report.results.push_back({"scn", 1, metrics});
+  return report;
+}
+
+TEST(DiffGate, ImprovementAndWithinThresholdPass) {
+  const BenchReport baseline = report_with({{"lat", 100.0, "ns/op"}});
+  // 40% faster: well under any threshold.
+  EXPECT_TRUE(diff_reports(baseline, report_with({{"lat", 60.0, "ns/op"}}),
+                           {.threshold = 0.10})
+                  .passed());
+  // +9% is within the 10% gate; exactly +10% is "not beyond" it.
+  EXPECT_TRUE(diff_reports(baseline, report_with({{"lat", 109.0, "ns/op"}}),
+                           {.threshold = 0.10})
+                  .passed());
+  EXPECT_TRUE(diff_reports(baseline, report_with({{"lat", 110.0, "ns/op"}}),
+                           {.threshold = 0.10})
+                  .passed());
+}
+
+TEST(DiffGate, RegressionBeyondThresholdFails) {
+  const BenchReport baseline = report_with({{"lat", 100.0, "ns/op"}});
+  const DiffReport report = diff_reports(
+      baseline, report_with({{"lat", 125.0, "ns/op"}}), {.threshold = 0.10});
+  EXPECT_FALSE(report.passed());
+  EXPECT_EQ(report.regressions, 1u);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_TRUE(report.deltas[0].gated);
+  EXPECT_TRUE(report.deltas[0].regression);
+  EXPECT_NEAR(report.deltas[0].delta_fraction, 0.25, 1e-12);
+  // A looser threshold accepts the same delta.
+  EXPECT_TRUE(diff_reports(baseline, report_with({{"lat", 125.0, "ns/op"}}),
+                           {.threshold = 0.30})
+                  .passed());
+}
+
+TEST(DiffGate, UngatedMetricsNeverFailTheGate) {
+  // "observations" contains "ns" — substring unit matching would gate it.
+  const BenchReport baseline = report_with({{"obs", 10.0, "observations"},
+                                            {"dur", 2.0, "s"}});
+  const DiffReport report =
+      diff_reports(baseline,
+                   report_with({{"obs", 500.0, "observations"},
+                                {"dur", 9.0, "s"}}),
+                   {.threshold = 0.10});
+  EXPECT_TRUE(report.passed());
+  for (const MetricDelta& d : report.deltas) {
+    EXPECT_FALSE(d.gated) << d.metric;
+    EXPECT_FALSE(d.regression) << d.metric;
+  }
+}
+
+TEST(DiffGate, NullMetricsCompareSanely) {
+  const double nan = std::nan("");
+  // null on both sides is "unchanged", not an eternal regression.
+  EXPECT_TRUE(diff_reports(report_with({{"lat", nan, "ns/op"}}),
+                           report_with({{"lat", nan, "ns/op"}}),
+                           {.threshold = 0.10})
+                  .passed());
+  // null -> measurable recovers the trajectory; measurable -> null loses it.
+  EXPECT_TRUE(diff_reports(report_with({{"lat", nan, "ns/op"}}),
+                           report_with({{"lat", 50.0, "ns/op"}}),
+                           {.threshold = 0.10})
+                  .passed());
+  EXPECT_FALSE(diff_reports(report_with({{"lat", 50.0, "ns/op"}}),
+                            report_with({{"lat", nan, "ns/op"}}),
+                            {.threshold = 0.10})
+                   .passed());
+}
+
+TEST(DiffGate, UnitChangeIsReportedAsRenameNotCompared) {
+  // 5 ms -> 5e6 ns is the same latency; comparing raw values would report
+  // a +1e8% regression. A unit change must read as missing + new instead.
+  const DiffReport report =
+      diff_reports(report_with({{"lat", 5.0, "ms"}}),
+                   report_with({{"lat", 5e6, "ns"}}), {.threshold = 0.10});
+  EXPECT_TRUE(report.passed());
+  EXPECT_TRUE(report.deltas.empty());
+  ASSERT_EQ(report.missing_in_candidate.size(), 1u);
+  EXPECT_EQ(report.missing_in_candidate[0], "scn.lat [ms]");
+  ASSERT_EQ(report.new_in_candidate.size(), 1u);
+  EXPECT_EQ(report.new_in_candidate[0], "scn.lat [ns]");
+}
+
+TEST(DiffGate, MissingAndNewMetricsReportedButNonFatal) {
+  BenchReport baseline = report_with({{"lat", 100.0, "ns/op"},
+                                      {"gone", 5.0, "ns/op"}});
+  baseline.results.push_back({"dropped_scenario", 1, {{"m", 1.0, "ns/op"}}});
+  BenchReport candidate = report_with({{"lat", 100.0, "ns/op"},
+                                       {"fresh", 3.0, "ns/op"}});
+  candidate.results.push_back({"added_scenario", 1, {{"m", 1.0, "ns/op"}}});
+
+  const DiffReport report =
+      diff_reports(baseline, candidate, {.threshold = 0.10});
+  EXPECT_TRUE(report.passed());
+  ASSERT_EQ(report.missing_in_candidate.size(), 2u);
+  EXPECT_EQ(report.missing_in_candidate[0], "scn.gone");
+  EXPECT_EQ(report.missing_in_candidate[1], "dropped_scenario.m");
+  ASSERT_EQ(report.new_in_candidate.size(), 2u);
+  EXPECT_EQ(report.new_in_candidate[0], "scn.fresh");
+  EXPECT_EQ(report.new_in_candidate[1], "added_scenario.m");
+}
+
+TEST(DiffRendering, TableAndMarkdownNameTheRegression) {
+  const BenchReport baseline = report_with({{"lat", 100.0, "ns/op"},
+                                            {"steady", 5.0, "ns/op"}});
+  const DiffOptions options{.threshold = 0.10};
+  const DiffReport report = diff_reports(
+      baseline,
+      report_with({{"lat", 150.0, "ns/op"}, {"steady", 5.0, "ns/op"}}),
+      options);
+  const std::string table = render_diff_table(report, options);
+  EXPECT_NE(table.find("scn.lat"), std::string::npos);
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(table.find("FAIL: 1 gated regression(s)"), std::string::npos);
+  const std::string markdown = render_diff_markdown(report, options);
+  EXPECT_NE(markdown.find("| `scn.lat` |"), std::string::npos);
+  EXPECT_NE(markdown.find("**regression**"), std::string::npos);
+}
+
+TEST(DiffCli, ExitCodesMatchVerdicts) {
+  const auto write_file = [](const std::string& path,
+                             const std::string& contents) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << path;
+    out << contents;
+  };
+  const std::string dir = ::testing::TempDir();
+  const std::string base_path = dir + "/sw_diff_base.json";
+  const std::string good_path = dir + "/sw_diff_good.json";
+  const std::string bad_path = dir + "/sw_diff_bad.json";
+  write_file(base_path, make_report({{"scn", {{"lat", 100.0, "ns/op"}}}}));
+  write_file(good_path, make_report({{"scn", {{"lat", 95.0, "ns/op"}}}}));
+  write_file(bad_path, make_report({{"scn", {{"lat", 200.0, "ns/op"}}}}));
+
+  const auto run = [](std::vector<const char*> argv) {
+    argv.insert(argv.begin(), "stopwatch_bench_diff");
+    return run_diff_cli(static_cast<int>(argv.size()), argv.data());
+  };
+  EXPECT_EQ(run({base_path.c_str(), good_path.c_str(), "--quiet"}), 0);
+  EXPECT_EQ(run({base_path.c_str(), bad_path.c_str(), "--quiet"}), 1);
+  EXPECT_EQ(run({base_path.c_str(), bad_path.c_str(), "--threshold", "1.5",
+                 "--quiet"}),
+            0);
+  EXPECT_EQ(run({base_path.c_str()}), 2);                      // missing arg
+  EXPECT_EQ(run({base_path.c_str(), "/nonexistent.json"}), 2);  // bad file
+  EXPECT_EQ(run({base_path.c_str(), bad_path.c_str(), "--threshold", "x"}),
+            2);
+
+  std::remove(base_path.c_str());
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+}  // namespace
+}  // namespace stopwatch::experiment

@@ -133,6 +133,17 @@ TEST(RunnerCli, ParsesScenarioSeedAndParams) {
   EXPECT_EQ(options.param_overrides[0].second, 2.5);
 }
 
+TEST(RunnerCli, ParsesJobs) {
+  RunnerOptions options;
+  std::string error;
+  const char* argv[] = {"stopwatch_bench", "--smoke", "--jobs", "8"};
+  ASSERT_TRUE(parse_runner_options(4, argv, options, error)) << error;
+  EXPECT_EQ(options.jobs, 8u);
+  const char* all_cores[] = {"stopwatch_bench", "--smoke", "--jobs", "0"};
+  ASSERT_TRUE(parse_runner_options(4, all_cores, options, error)) << error;
+  EXPECT_EQ(options.jobs, 0u);
+}
+
 TEST(RunnerCli, RejectsMalformedInput) {
   RunnerOptions options;
   std::string error;
@@ -144,6 +155,17 @@ TEST(RunnerCli, RejectsMalformedInput) {
   EXPECT_FALSE(parse_runner_options(3, bad_param, options, error));
   const char* missing[] = {"stopwatch_bench", "--scenario"};
   EXPECT_FALSE(parse_runner_options(2, missing, options, error));
+  // --jobs must fail cleanly on garbage and on negatives — an atoi-style
+  // fallback would wrap -1 into a huge thread count.
+  const char* negative_jobs[] = {"stopwatch_bench", "--jobs", "-1"};
+  EXPECT_FALSE(parse_runner_options(3, negative_jobs, options, error));
+  EXPECT_NE(error.find("--jobs"), std::string::npos);
+  const char* garbage_jobs[] = {"stopwatch_bench", "--jobs", "abc"};
+  EXPECT_FALSE(parse_runner_options(3, garbage_jobs, options, error));
+  const char* fractional_jobs[] = {"stopwatch_bench", "--jobs", "2.5"};
+  EXPECT_FALSE(parse_runner_options(3, fractional_jobs, options, error));
+  const char* jobs_missing[] = {"stopwatch_bench", "--jobs"};
+  EXPECT_FALSE(parse_runner_options(2, jobs_missing, options, error));
 }
 
 }  // namespace

@@ -9,6 +9,22 @@
 namespace stopwatch::stats {
 namespace {
 
+TEST(SpecialFunctions, LogGammaMatchesKnownValues) {
+  // Γ(n) = (n-1)! at integers; half-integers via Γ(1/2) = sqrt(pi). The
+  // local Lanczos log_gamma replaces std::lgamma (whose signgam global made
+  // it thread-unsafe under the --jobs runner).
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-13);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-13);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(log_gamma(11.0), std::log(3628800.0), 1e-11);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(3.14159265358979323846), 1e-12);
+  // Reflection branch (x < 0.5): Γ(0.25) = 3.6256099082219083...
+  EXPECT_NEAR(log_gamma(0.25), std::log(3.6256099082219083), 1e-12);
+  // Large argument (Stirling regime), value from reference tables.
+  EXPECT_NEAR(log_gamma(100.0), 359.13420536957540, 1e-9);
+  EXPECT_THROW(static_cast<void>(log_gamma(0.0)), ContractViolation);
+}
+
 TEST(SpecialFunctions, GammaPBoundaries) {
   EXPECT_DOUBLE_EQ(regularized_gamma_p(1.0, 0.0), 0.0);
   EXPECT_NEAR(regularized_gamma_p(1.0, 50.0), 1.0, 1e-12);
