@@ -1,0 +1,305 @@
+// Scenario E14 — Paper Sec. VIII at cloud scale, end to end.
+//
+// placement_utilization reproduces Theorems 1 and 2 analytically; this
+// scenario actually *runs* the resulting cloud. It places Θ(n²) replica
+// sets (every triangle of a full-capacity Theorem 2 placement, 41,750 VMs
+// at n = 501) over the lazily wired sharded topology, drives a sampled
+// subset of guests with real request traffic through the whole
+// ingress → replicated VMMs → median egress pipeline, and cross-checks the
+// structure the running cloud exhibits against the analytic numbers:
+//
+//  * utilization: VMs placed per machine vs the Theorem 2 bound — the
+//    quantity placement_utilization reports as
+//    improvement_over_isolation_at_largest_n (exact agreement required);
+//  * co-residence: the probability two uniformly drawn VMs share a host,
+//    sampled over the placement table vs computed exactly from machine
+//    occupancy (agreement within 25% relative error at the default 20k
+//    sampled pairs; the estimator's rel. sigma is ~5%);
+//  * scale: only driven VMs materialize replicas (lazy wiring), every
+//    driven replica runs on exactly its assigned machine, replicas stay
+//    deterministic, and the egress releases every echoed reply.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "core/cloud.hpp"
+#include "experiment/registry.hpp"
+#include "placement/placement.hpp"
+
+namespace stopwatch::bench {
+namespace {
+
+using experiment::ParamSpec;
+using experiment::Result;
+using experiment::ScenarioContext;
+
+/// Echoes every request straight back to its sender — the minimal guest
+/// that exercises ingress replication and median egress release.
+class EchoProgram final : public vm::GuestProgram {
+ public:
+  void on_boot(vm::GuestApi&) override {}
+  void on_timer_tick(vm::GuestApi&, std::uint64_t) override {}
+  void on_packet(vm::GuestApi& api, const net::Packet& pkt) override {
+    if (pkt.kind != net::PacketKind::kRequest) return;
+    net::Packet reply;
+    reply.dst = pkt.src;
+    reply.kind = net::PacketKind::kData;
+    reply.seq = pkt.seq;
+    reply.size_bytes = 120;
+    api.send_packet(reply);
+  }
+};
+
+Result run(const ScenarioContext& ctx) {
+  const int n = ctx.param_int("machines");
+  const int driven_target = ctx.param_int("driven_vms");
+  const double run_time_s = ctx.param("run_time_s");
+  const double rate_hz = ctx.param("request_rate_hz");
+  const int pair_samples = ctx.param_int("pair_samples");
+  const std::string& mode = ctx.param_choice("placement");
+
+  // Full-capacity placement: Θ(n²) VMs over n machines.
+  const int c = (n - 1) / 2;
+  std::vector<placement::Triangle> triangles;
+  if (mode == "theorem2") {
+    SW_EXPECTS_MSG(n % 6 == 3,
+                   "placement=theorem2 requires machines = 3 (mod 6), got " +
+                       std::to_string(n));
+    triangles = placement::theorem2_placement(n, c);
+  } else {
+    triangles = placement::greedy_packing(n, c);
+  }
+  const auto k = static_cast<long>(triangles.size());
+
+  Result result("placement_e2e");
+  result.add_metric("machines", n, "machines");
+  result.add_metric("vms_placed", static_cast<double>(k), "VMs");
+  result.add_metric("placement_valid",
+                    placement::valid_placement(triangles, n, c) ? 1.0 : 0.0,
+                    "bool");
+
+  // --- Analytic cross-checks against placement_utilization ---
+  const double improvement = static_cast<double>(k) / n;
+  result.add_metric("improvement_over_isolation", improvement, "x");
+  if (mode == "theorem2") {
+    const double analytic =
+        static_cast<double>(placement::theorem2_bound(n, c)) / n;
+    result.add_metric("analytic_improvement", analytic, "x");
+    // Same quantity placement_utilization reports at its largest n; the
+    // construction must hit the bound exactly.
+    result.add_metric("agrees_with_placement_utilization",
+                      improvement == analytic ? 1.0 : 0.0, "bool");
+  }
+
+  // Exact co-residence probability from machine occupancy: triangles are
+  // edge-disjoint, so two VMs share at most one machine and the pair count
+  // is exactly sum_m C(occ_m, 2).
+  const std::vector<int> occ = placement::occupancy(triangles, n);
+  double coresident_pairs = 0.0;
+  for (const int o : occ) {
+    coresident_pairs += static_cast<double>(o) * (o - 1) / 2.0;
+  }
+  const double total_pairs = static_cast<double>(k) * (k - 1) / 2.0;
+  const double p_analytic = coresident_pairs / total_pairs;
+  result.add_metric("coresidence_analytic", p_analytic, "probability");
+
+  // Sampled estimate over the placement table (what a measurement over
+  // uniformly drawn guest pairs would see).
+  Rng pair_rng(SplitMix64(ctx.seed() ^ 0xC0DE51DEULL).next());
+  long shared = 0;
+  for (int s = 0; s < pair_samples; ++s) {
+    const auto i =
+        static_cast<std::size_t>(pair_rng.uniform_int(0, k - 1));
+    auto j = static_cast<std::size_t>(pair_rng.uniform_int(0, k - 2));
+    if (j >= i) ++j;
+    const placement::Triangle& a = triangles[i];
+    const placement::Triangle& b = triangles[j];
+    const int av[3] = {a.a, a.b, a.c};
+    const int bv[3] = {b.a, b.b, b.c};
+    bool hit = false;
+    for (const int x : av) {
+      for (const int y : bv) hit = hit || x == y;
+    }
+    shared += hit ? 1 : 0;
+  }
+  const double p_measured = static_cast<double>(shared) / pair_samples;
+  result.add_metric("coresidence_measured", p_measured, "probability");
+  const double rel_error = std::abs(p_measured - p_analytic) / p_analytic;
+  result.add_metric("coresidence_rel_error", rel_error, "");
+  result.add_metric("coresidence_within_tolerance",
+                    rel_error <= 0.25 ? 1.0 : 0.0, "bool");
+
+  // --- The cloud itself: register every placement, drive a sample ---
+  core::CloudConfig cfg;
+  cfg.seed = ctx.seed();
+  cfg.policy = core::Policy::kStopWatch;
+  cfg.replica_count = 3;
+  cfg.machine_count = n;
+  cfg.wiring = core::WiringMode::kLazy;
+
+  core::Cloud cloud(cfg);
+  std::vector<core::VmHandle> vms;
+  vms.reserve(static_cast<std::size_t>(k));
+  for (const placement::Triangle& t : triangles) {
+    vms.push_back(cloud.add_vm("vm" + std::to_string(vms.size()),
+                               [] { return std::make_unique<EchoProgram>(); },
+                               {t.a, t.b, t.c}));
+  }
+
+  std::map<std::uint32_t, long> replies_by_addr;
+  const NodeId client = cloud.add_external_node(
+      "client", [&replies_by_addr](const net::Packet& pkt) {
+        ++replies_by_addr[pkt.src.value];
+      });
+
+  // Driven subset: distinct VM indices drawn from the scenario stream.
+  Rng drive_rng(SplitMix64(ctx.seed() ^ 0xD21BE2ULL).next());
+  std::set<std::size_t> driven;
+  const auto driven_count =
+      std::min<long>(driven_target, k);
+  while (static_cast<long>(driven.size()) < driven_count) {
+    driven.insert(static_cast<std::size_t>(drive_rng.uniform_int(0, k - 1)));
+  }
+
+  cloud.start();
+
+  // Poisson request stream per driven VM; scheduled up front so the whole
+  // run is a pure function of the seed.
+  long requests_sent = 0;
+  for (const std::size_t vm_index : driven) {
+    const core::VmHandle vm = vms[vm_index];
+    double t_s = 0.001;  // small head start past start()
+    std::uint64_t seq = 0;
+    while (true) {
+      t_s += drive_rng.exponential(rate_hz);
+      if (t_s >= run_time_s) break;
+      ++requests_sent;
+      const std::uint64_t this_seq = seq++;
+      cloud.simulator().schedule_at(
+          RealTime{} + Duration::from_seconds_f(t_s),
+          [&cloud, client, vm, this_seq] {
+            net::Packet req;
+            req.dst = cloud.vm_addr(vm);
+            req.kind = net::PacketKind::kRequest;
+            req.seq = this_seq;
+            req.size_bytes = 90;
+            cloud.send_external(client, req);
+          });
+    }
+  }
+
+  cloud.run_for(Duration::from_seconds_f(run_time_s) + Duration::millis(500));
+  cloud.halt_all();
+
+  // --- End-to-end measurements over the driven sample ---
+  long replies_received = 0;
+  for (const auto& [addr, count] : replies_by_addr) replies_received += count;
+  std::uint64_t released = 0;
+  long placement_errors = 0;
+  long nondeterministic = 0;
+  for (const std::size_t vm_index : driven) {
+    const core::VmHandle vm = vms[vm_index];
+    released += cloud.egress_stats(vm).packets_released;
+    if (!cloud.replicas_deterministic(vm)) ++nondeterministic;
+    const auto& assigned = cloud.topology().vm_machines(vm.index);
+    for (int r = 0; r < cloud.replicas_of(vm); ++r) {
+      const auto hosted =
+          static_cast<int>(cloud.replica(vm, r).machine().id().value);
+      if (hosted != assigned[static_cast<std::size_t>(r)]) ++placement_errors;
+    }
+  }
+
+  result.add_metric("driven_vms", static_cast<double>(driven.size()), "VMs");
+  result.add_metric("requests_sent", static_cast<double>(requests_sent),
+                    "packets");
+  result.add_metric("replies_received", static_cast<double>(replies_received),
+                    "packets");
+  result.add_metric("egress_packets_released", static_cast<double>(released),
+                    "packets");
+  result.add_metric("driven_replica_placement_errors",
+                    static_cast<double>(placement_errors), "replicas");
+  result.add_metric("nondeterministic_vms",
+                    static_cast<double>(nondeterministic), "VMs");
+  result.add_metric("divergences",
+                    static_cast<double>(cloud.total_divergences()), "events");
+
+  // --- Scale proof: lazy wiring only paid for the driven sample ---
+  auto& topo = cloud.topology();
+  result.add_metric("materialized_vms",
+                    static_cast<double>(topo.materialized_vm_count()), "VMs");
+  result.add_metric("lazy_materialized_only_driven",
+                    topo.materialized_vm_count() == driven.size() ? 1.0 : 0.0,
+                    "bool");
+  result.add_metric(
+      "materialized_machines",
+      static_cast<double>(topo.machines().materialized_machines()),
+      "machines");
+  result.add_metric("machine_shards",
+                    static_cast<double>(topo.machines().shard_count()),
+                    "shards");
+  result.add_metric("network_nodes",
+                    static_cast<double>(cloud.network().node_count()), "nodes");
+  result.add_metric("events_executed",
+                    static_cast<double>(cloud.simulator().events_executed()),
+                    "events");
+  result.add_metric(
+      "events_per_driven_vm",
+      static_cast<double>(cloud.simulator().events_executed()) /
+          static_cast<double>(driven.size()),
+      "events");
+
+  // Reply counts per driven VM in VM-index order (figure-shaped evidence
+  // that each sampled guest actually served traffic).
+  std::vector<double> replies_series;
+  for (const std::size_t vm_index : driven) {
+    const auto it =
+        replies_by_addr.find(cloud.vm_addr(vms[vm_index]).value);
+    replies_series.push_back(
+        it == replies_by_addr.end() ? 0.0 : static_cast<double>(it->second));
+  }
+  result.add_series("driven_vm_replies", "packets", replies_series);
+
+  result.set_note(
+      "Placement-scale shape check: Theta(n^2) VM placements register in "
+      "O(VMs) with zero boot events; driven guests materialize on first "
+      "packet, run on exactly their assigned machines, and the sampled "
+      "co-residence probability matches the occupancy-exact value within "
+      "25% relative error.");
+  return result;
+}
+
+[[maybe_unused]] const experiment::ScenarioRegistrar kRegistrar{{
+    .name = "placement_e2e",
+    .description =
+        "Sec. VIII end to end: Theta(n^2) replica sets placed over a lazy "
+        "sharded 501-machine topology, sampled guests driven through "
+        "ingress/egress, co-residence cross-checked against the analytic "
+        "placement numbers",
+    .params =
+        {ParamSpec{"machines", "cloud size n (theorem2 needs n = 3 mod 6)",
+                   501.0, 501.0}
+             .with_int_range(9, 2001),
+         ParamSpec{"driven_vms", "sampled VMs driven with traffic", 24.0, 8.0}
+             .with_int_range(1, 1000),
+         ParamSpec{"run_time_s", "simulated seconds of request traffic", 2.0,
+                   0.5}
+             .with_range(0.05, 60),
+         ParamSpec{"request_rate_hz", "requests/s per driven VM", 40.0, 25.0}
+             .with_range(1, 1000),
+         ParamSpec{"pair_samples", "VM pairs sampled for co-residence", 20000.0,
+                   20000.0}
+             .with_int_range(100, 1000000),
+         ParamSpec::enumeration("placement", "placement construction",
+                                "theorem2", {"theorem2", "greedy"})},
+    .deterministic = true,
+    .run = run,
+}};
+
+}  // namespace
+}  // namespace stopwatch::bench

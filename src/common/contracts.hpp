@@ -20,6 +20,12 @@ namespace detail {
   throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
                           file + ":" + std::to_string(line));
 }
+[[noreturn]] inline void contract_fail_msg(const char* kind,
+                                           const std::string& message,
+                                           const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + message + " at " +
+                          file + ":" + std::to_string(line));
+}
 }  // namespace detail
 
 }  // namespace stopwatch
@@ -30,6 +36,17 @@ namespace detail {
     if (!(cond))                                                             \
       ::stopwatch::detail::contract_fail("Precondition", #cond, __FILE__,    \
                                          __LINE__);                          \
+  } while (0)
+
+/// Precondition check with a caller-supplied message (a std::string
+/// expression), for boundary validation whose failure should explain itself
+/// — e.g. "CloudConfig.replica_count must be odd (got 4)" instead of the
+/// raw condition text.
+#define SW_EXPECTS_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::stopwatch::detail::contract_fail_msg("Precondition", (msg),          \
+                                             __FILE__, __LINE__);            \
   } while (0)
 
 /// Postcondition check: result guarantees at function exit.

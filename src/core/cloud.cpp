@@ -1,158 +1,71 @@
 #include "core/cloud.hpp"
 
-#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/contracts.hpp"
-#include "stats/order_statistics.hpp"
 
 namespace stopwatch::core {
 
+namespace {
+
+/// Boundary validation of the whole configuration, before any wiring: a
+/// bad replica/machine combination should explain itself here instead of
+/// failing deep inside group or shard construction.
+void validate(const CloudConfig& cfg) {
+  SW_EXPECTS_MSG(cfg.machine_count >= 1,
+                 "CloudConfig.machine_count must be >= 1 (got " +
+                     std::to_string(cfg.machine_count) + ")");
+  SW_EXPECTS_MSG(cfg.replica_count >= 1,
+                 "CloudConfig.replica_count must be >= 1 (got " +
+                     std::to_string(cfg.replica_count) + ")");
+  SW_EXPECTS_MSG(cfg.replica_count % 2 == 1,
+                 "CloudConfig.replica_count must be odd for median "
+                 "agreement (got " +
+                     std::to_string(cfg.replica_count) + ")");
+  if (cfg.policy == Policy::kStopWatch) {
+    SW_EXPECTS_MSG(cfg.replica_count <= cfg.machine_count,
+                   "CloudConfig.replica_count (" +
+                       std::to_string(cfg.replica_count) +
+                       ") cannot exceed machine_count (" +
+                       std::to_string(cfg.machine_count) +
+                       "): replicas must land on distinct machines");
+  }
+  SW_EXPECTS_MSG(cfg.shard_size >= 1,
+                 "CloudConfig.shard_size must be >= 1 (got " +
+                     std::to_string(cfg.shard_size) + ")");
+  SW_EXPECTS_MSG(cfg.clock_offset_spread.ns >= 0,
+                 "CloudConfig.clock_offset_spread must be >= 0 (got " +
+                     std::to_string(cfg.clock_offset_spread.ns) + " ns)");
+}
+
+topology::TopologyConfig topology_config(const CloudConfig& cfg) {
+  topology::TopologyConfig tc;
+  tc.seed = cfg.seed;
+  tc.policy = cfg.policy;
+  tc.replica_count = cfg.replica_count;
+  tc.machine_count = cfg.machine_count;
+  tc.shard_size = cfg.shard_size;
+  tc.wiring = cfg.wiring;
+  tc.machine_template = cfg.machine_template;
+  tc.guest_template = cfg.guest_template;
+  tc.clock_offset_spread = cfg.clock_offset_spread;
+  return tc;
+}
+
+}  // namespace
+
 Cloud::Cloud(CloudConfig cfg)
     : cfg_(cfg), root_rng_(cfg.seed), net_(sim_, root_rng_.fork(0xF00D)) {
-  SW_EXPECTS(cfg.machine_count >= 1);
-  SW_EXPECTS(cfg.replica_count >= 1 && cfg.replica_count % 2 == 1);
+  validate(cfg_);
   net_.set_default_link(cfg_.cloud_link);
-
-  for (int i = 0; i < cfg_.machine_count; ++i) {
-    hypervisor::MachineConfig mc = cfg_.machine_template;
-    if (cfg_.clock_offset_spread.ns > 0) {
-      mc.clock_offset = Duration{
-          root_rng_.uniform_int(0, cfg_.clock_offset_spread.ns - 1)};
-    }
-    auto machine = std::make_unique<hypervisor::Machine>(
-        MachineId{static_cast<std::uint32_t>(i)}, sim_, mc,
-        root_rng_.fork(0x1000 + static_cast<std::uint64_t>(i)));
-    machines_.push_back(std::move(machine));
-
-    const int idx = i;
-    machine_nodes_.push_back(net_.add_node(
-        "machine-" + std::to_string(i),
-        [this, idx](const net::Frame& f) { on_machine_frame(idx, f); }));
-  }
-
-  egress_node_ = net_.add_node(
-      "egress", [this](const net::Frame& f) { on_egress_frame(f); });
+  topo_ = std::make_unique<topology::TopologyBuilder>(sim_, net_,
+                                                      topology_config(cfg_));
 }
 
 VmHandle Cloud::add_vm(std::string name, const ProgramFactory& factory,
                        const std::vector<int>& machine_indices) {
-  SW_EXPECTS(!started_);
-  SW_EXPECTS(factory != nullptr);
-  const int replicas = effective_replicas();
-  SW_EXPECTS(static_cast<int>(machine_indices.size()) >= replicas);
-
-  const auto vm_index = static_cast<std::uint32_t>(vms_.size());
-  vms_.push_back(VmEntry{});
-  VmEntry& entry = vms_.back();
-  entry.name = std::move(name);
-  entry.id = VmId{vm_index};
-  entry.machines.assign(machine_indices.begin(),
-                        machine_indices.begin() + replicas);
-  for (int m : entry.machines) {
-    SW_EXPECTS(m >= 0 && m < machine_count());
-  }
-  // Replica placement constraint sanity: distinct machines.
-  for (std::size_t i = 0; i < entry.machines.size(); ++i) {
-    for (std::size_t j = i + 1; j < entry.machines.size(); ++j) {
-      SW_EXPECTS(entry.machines[i] != entry.machines[j]);
-    }
-  }
-
-  // The VM's logical address doubles as its ingress entry point.
-  entry.addr = net_.add_node(
-      "vm-" + entry.name + "-addr",
-      [this, vm_index](const net::Frame& f) {
-        if (const auto* gp = std::get_if<net::GuestPacketPayload>(&f.payload)) {
-          on_ingress_packet(vm_index, gp->pkt);
-        }
-      });
-  addr_to_vm_[entry.addr.value] = vm_index;
-  // Wire client-link models to all known external nodes.
-  for (const NodeId ext : external_nodes_) {
-    net_.set_link_bidirectional(entry.addr, ext, cfg_.client_link);
-  }
-
-  // Control and ingress multicast groups (StopWatch only).
-  if (cfg_.policy == Policy::kStopWatch && replicas > 1) {
-    entry.control_group =
-        std::make_unique<net::MulticastGroup>(net_, next_group_id_++);
-    entry.ingress_group =
-        std::make_unique<net::MulticastGroup>(net_, next_group_id_++);
-    groups_[next_group_id_ - 2] = entry.control_group.get();
-    groups_[next_group_id_ - 1] = entry.ingress_group.get();
-
-    // Ingress node is the (sole) sender in the ingress group.
-    entry.ingress_group->add_member(entry.addr,
-                                    [](NodeId, const net::FramePayload&) {});
-    // Route ingress-group frames arriving at the ingress node (none in
-    // practice, but NAKs may flow back).
-    const std::uint32_t ig = next_group_id_ - 1;
-    net_.set_handler(entry.addr, [this, vm_index, ig](const net::Frame& f) {
-      if (f.rm_group == ig) {
-        groups_.at(ig)->on_frame(vms_[vm_index].addr, f);
-        return;
-      }
-      if (const auto* gp = std::get_if<net::GuestPacketPayload>(&f.payload)) {
-        on_ingress_packet(vm_index, gp->pkt);
-      }
-    });
-  }
-
-  const std::uint64_t det_seed =
-      SplitMix64(cfg_.seed ^ (0xABCDULL + vm_index)).next();
-
-  for (int r = 0; r < replicas; ++r) {
-    const int m = entry.machines[static_cast<std::size_t>(r)];
-    hypervisor::GuestContextConfig gc = cfg_.guest_template;
-    gc.policy = cfg_.policy;
-    gc.replica_count = replicas;
-
-    hypervisor::ReplicaServices services;
-    services.machine_node = machine_nodes_[static_cast<std::size_t>(m)];
-    services.egress_node = egress_node_;
-    services.send_frame = [this](net::Frame f) { net_.send(std::move(f)); };
-    if (entry.control_group) {
-      net::MulticastGroup* group = entry.control_group.get();
-      const NodeId node = machine_nodes_[static_cast<std::size_t>(m)];
-      services.control_multicast = [group, node](net::FramePayload payload,
-                                                 std::uint32_t bytes) {
-        group->send(node, std::move(payload), bytes);
-      };
-    }
-
-    auto ctx = std::make_unique<hypervisor::GuestContext>(
-        entry.id, ReplicaIndex{static_cast<std::uint32_t>(r)}, entry.addr,
-        *machines_[static_cast<std::size_t>(m)], sim_, gc, factory(),
-        det_seed, std::move(services));
-
-    if (entry.control_group) {
-      hypervisor::GuestContext* raw = ctx.get();
-      entry.control_group->add_member(
-          machine_nodes_[static_cast<std::size_t>(m)],
-          [raw](NodeId, const net::FramePayload& p) {
-            if (const auto* prop = std::get_if<net::Proposal>(&p)) {
-              raw->on_proposal(*prop);
-            } else if (const auto* b = std::get_if<net::SyncBeacon>(&p)) {
-              raw->on_sync_beacon(*b);
-            } else if (const auto* e = std::get_if<net::EpochReport>(&p)) {
-              raw->on_epoch_report(*e);
-            }
-          });
-    }
-    if (entry.ingress_group) {
-      hypervisor::GuestContext* raw = ctx.get();
-      entry.ingress_group->add_member(
-          machine_nodes_[static_cast<std::size_t>(m)],
-          [raw](NodeId, const net::FramePayload& p) {
-            if (const auto* c = std::get_if<net::IngressCopy>(&p)) {
-              raw->on_ingress_copy(*c);
-            }
-          });
-    }
-    entry.replicas.push_back(std::move(ctx));
-  }
-  return VmHandle{vm_index};
+  return VmHandle{topo_->add_vm(std::move(name), factory, machine_indices)};
 }
 
 NodeId Cloud::add_external_node(std::string name, PacketHandler on_packet) {
@@ -163,15 +76,9 @@ NodeId Cloud::add_external_node(std::string name, PacketHandler on_packet) {
           cb(gp->pkt);
         }
       });
-  external_nodes_.push_back(id);
-  for (const auto& vm : vms_) {
-    net_.set_link_bidirectional(id, vm.addr, cfg_.client_link);
-  }
-  net_.set_link_bidirectional(id, egress_node_, cfg_.client_link);
-  // Baseline guests send to external nodes directly from their machine.
-  for (const NodeId m : machine_nodes_) {
-    net_.set_link_bidirectional(id, m, cfg_.client_link);
-  }
+  // One node-scoped link entry covers this endpoint's traffic with every
+  // VM ingress, machine, and the egress — no per-VM fan-out.
+  net_.set_node_link(id, cfg_.client_link);
   return id;
 }
 
@@ -188,18 +95,7 @@ void Cloud::send_external(NodeId from, net::Packet pkt) {
 void Cloud::start() {
   SW_EXPECTS(!started_);
   started_ = true;
-  for (auto& vm : vms_) {
-    // Exchange of boot-time machine clocks; start = median (Sec. IV-A).
-    std::vector<std::int64_t> clocks;
-    for (int m : vm.machines) {
-      clocks.push_back(machines_[static_cast<std::size_t>(m)]->local_clock().ns);
-    }
-    std::sort(clocks.begin(), clocks.end());
-    const VirtTime start{clocks[(clocks.size() - 1) / 2]};
-    for (auto& replica : vm.replicas) {
-      replica->start(start);
-    }
-  }
+  topo_->start();
 }
 
 void Cloud::run_for(Duration d) {
@@ -207,137 +103,33 @@ void Cloud::run_for(Duration d) {
   sim_.run_until(sim_.now() + d);
 }
 
-void Cloud::halt_all() {
-  for (auto& vm : vms_) {
-    for (auto& r : vm.replicas) r->halt();
-  }
-}
+void Cloud::halt_all() { topo_->halt_all(); }
 
 hypervisor::Machine& Cloud::machine(int idx) {
   SW_EXPECTS(idx >= 0 && idx < machine_count());
-  return *machines_[static_cast<std::size_t>(idx)];
+  return topo_->machines().machine(idx);
 }
 
 hypervisor::GuestContext& Cloud::replica(VmHandle vm, int replica) {
-  SW_EXPECTS(vm.index < vms_.size());
-  SW_EXPECTS(replica >= 0 &&
-             replica < static_cast<int>(vms_[vm.index].replicas.size()));
-  return *vms_[vm.index].replicas[static_cast<std::size_t>(replica)];
+  return topo_->replica(vm.index, replica);
 }
 
 int Cloud::replicas_of(VmHandle vm) const {
-  SW_EXPECTS(vm.index < vms_.size());
-  return static_cast<int>(vms_[vm.index].replicas.size());
+  return topo_->replicas_of(vm.index);
 }
 
-NodeId Cloud::vm_addr(VmHandle vm) const {
-  SW_EXPECTS(vm.index < vms_.size());
-  return vms_[vm.index].addr;
-}
+NodeId Cloud::vm_addr(VmHandle vm) const { return topo_->vm_addr(vm.index); }
 
 const EgressStats& Cloud::egress_stats(VmHandle vm) const {
-  SW_EXPECTS(vm.index < vms_.size());
-  return vms_[vm.index].egress_stats;
+  return topo_->egress_stats(vm.index);
 }
 
 bool Cloud::replicas_deterministic(VmHandle vm) const {
-  SW_EXPECTS(vm.index < vms_.size());
-  const VmEntry& entry = vms_[vm.index];
-  for (std::size_t i = 1; i < entry.replicas.size(); ++i) {
-    const auto& a = entry.replicas[0]->output_hashes();
-    const auto& b = entry.replicas[i]->output_hashes();
-    const std::size_t n = std::min(a.size(), b.size());
-    for (std::size_t k = 0; k < n; ++k) {
-      if (a[k] != b[k]) return false;
-    }
-  }
-  return true;
+  return topo_->replicas_deterministic(vm.index);
 }
 
 std::uint64_t Cloud::total_divergences() const {
-  std::uint64_t total = 0;
-  for (const auto& vm : vms_) {
-    for (const auto& r : vm.replicas) {
-      const auto& s = r->stats();
-      total += s.divergence_median_passed + s.divergence_disk_late +
-               s.divergence_epoch_missing;
-    }
-    total += vm.egress_stats.hash_mismatches;
-  }
-  return total;
-}
-
-void Cloud::on_machine_frame(int machine_idx, const net::Frame& frame) {
-  // Reliable-multicast frames route to their group.
-  if (frame.rm_group != 0) {
-    const auto it = groups_.find(frame.rm_group);
-    SW_ASSERT(it != groups_.end());
-    it->second->on_frame(machine_nodes_[static_cast<std::size_t>(machine_idx)],
-                         frame);
-    return;
-  }
-  // Baseline direct guest packet: find the addressed VM on this machine.
-  if (const auto* gp = std::get_if<net::GuestPacketPayload>(&frame.payload)) {
-    const auto it = addr_to_vm_.find(gp->pkt.dst.value);
-    if (it == addr_to_vm_.end()) return;
-    VmEntry& entry = vms_[it->second];
-    for (std::size_t r = 0; r < entry.replicas.size(); ++r) {
-      if (entry.machines[r] == machine_idx) {
-        entry.replicas[r]->on_direct_packet(gp->pkt);
-        return;
-      }
-    }
-  }
-}
-
-void Cloud::on_ingress_packet(std::uint32_t vm_index, const net::Packet& pkt) {
-  VmEntry& entry = vms_[vm_index];
-  if (cfg_.policy == Policy::kStopWatch && entry.ingress_group) {
-    net::IngressCopy copy;
-    copy.vm = entry.id;
-    copy.copy_seq = ++entry.ingress_seq;
-    copy.pkt = pkt;
-    entry.ingress_group->send(entry.addr, copy,
-                              pkt.size_bytes + net::kHeaderBytes);
-  } else {
-    // Baseline: forward to the (single) hosting machine.
-    net::Frame f;
-    f.src = entry.addr;
-    f.dst = machine_nodes_[static_cast<std::size_t>(entry.machines[0])];
-    f.size_bytes = pkt.size_bytes;
-    f.payload = net::GuestPacketPayload{pkt};
-    net_.send(std::move(f));
-  }
-}
-
-void Cloud::on_egress_frame(const net::Frame& frame) {
-  const auto* out = std::get_if<net::TunneledOutput>(&frame.payload);
-  if (out == nullptr) return;
-  SW_ASSERT(out->vm.value < vms_.size());
-  VmEntry& entry = vms_[out->vm.value];
-  auto& slot = entry.egress_slots[out->out_seq];
-  if (slot.copies == 0) {
-    slot.hash = out->content_hash;
-  } else if (slot.hash != out->content_hash) {
-    ++entry.egress_stats.hash_mismatches;
-  }
-  ++slot.copies;
-
-  // Release on the ((r+1)/2)-th copy: the median emission timing.
-  const int release_at = (static_cast<int>(entry.replicas.size()) + 1) / 2;
-  if (!slot.released && slot.copies >= release_at) {
-    slot.released = true;
-    ++entry.egress_stats.packets_released;
-    net::Frame f;
-    f.src = egress_node_;
-    f.dst = out->pkt.dst;
-    f.size_bytes = out->pkt.size_bytes;
-    f.payload = net::GuestPacketPayload{out->pkt};
-    net_.send(std::move(f));
-  }
-  if (slot.copies >= static_cast<int>(entry.replicas.size())) {
-    entry.egress_slots.erase(out->out_seq);
-  }
+  return topo_->total_divergences();
 }
 
 }  // namespace stopwatch::core

@@ -1,6 +1,7 @@
 // The StopWatch cloud — the paper's primary contribution assembled.
 //
-// A Cloud owns the simulator, the network fabric, n machines, the ingress
+// A Cloud owns the simulator, the network fabric, and the topology layer
+// (src/topology) that in turn owns the sharded machine table, the ingress
 // and egress nodes, and the guest VMs. Under Policy::kStopWatch every guest
 // VM added is transparently replicated `replica_count` times across the
 // requested machines and wired into:
@@ -14,6 +15,13 @@
 //     emission timing (Sec. VI) — and simultaneously verifies replica
 //     output determinism via content hashes.
 //
+// Wiring happens eagerly (the default: replicas exist from add_vm on) or
+// lazily (CloudConfig::wiring = WiringMode::kLazy: a VM's replicas,
+// multicast groups, and machine shards materialize on the first frame that
+// reaches its ingress address) — the mode placement-scale scenarios use to
+// register Θ(n²) VM placements over n = 501 machines and only pay for the
+// ones actually driven.
+//
 // Under Policy::kBaselineXen the same topology runs unreplicated guests on
 // unmodified-Xen semantics (real clocks, immediate interrupt delivery):
 // the comparison baseline for every experiment.
@@ -21,7 +29,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,14 +38,16 @@
 #include "common/time.hpp"
 #include "hypervisor/guest_context.hpp"
 #include "hypervisor/machine.hpp"
-#include "net/multicast.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "topology/builder.hpp"
 #include "vm/guest.hpp"
 
 namespace stopwatch::core {
 
 using hypervisor::Policy;
+using topology::EgressStats;
+using topology::WiringMode;
 
 struct CloudConfig {
   std::uint64_t seed{1};
@@ -47,6 +56,11 @@ struct CloudConfig {
   /// hardening). Ignored (forced to 1) under the baseline policy.
   int replica_count{3};
   int machine_count{3};
+  /// Machines per shard of the topology layer's machine table.
+  int shard_size{64};
+  /// When VM replicas are wired: at add_vm (kEager) or on first ingress
+  /// traffic (kLazy).
+  WiringMode wiring{WiringMode::kEager};
   hypervisor::MachineConfig machine_template{};
   hypervisor::GuestContextConfig guest_template{};
   /// Intra-cloud links (machine <-> machine / ingress / egress).
@@ -62,17 +76,9 @@ struct VmHandle {
   std::uint32_t index{0};
 };
 
-/// Per-VM egress statistics.
-struct EgressStats {
-  std::uint64_t packets_released{0};
-  /// Replica output hash mismatches observed at the egress (must stay 0:
-  /// replicas are deterministic).
-  std::uint64_t hash_mismatches{0};
-};
-
 class Cloud {
  public:
-  using ProgramFactory = std::function<std::unique_ptr<vm::GuestProgram>()>;
+  using ProgramFactory = topology::TopologyBuilder::ProgramFactory;
   using PacketHandler = std::function<void(const net::Packet&)>;
 
   explicit Cloud(CloudConfig cfg);
@@ -83,19 +89,21 @@ class Cloud {
   /// Adds a guest VM replicated across `machine_indices` (first
   /// `replica_count` entries used; baseline uses only the first). The
   /// factory is invoked once per replica; all replicas receive the same
-  /// deterministic seed.
+  /// deterministic seed. Under lazy wiring the factory runs at
+  /// materialization instead of here.
   VmHandle add_vm(std::string name, const ProgramFactory& factory,
                   const std::vector<int>& machine_indices);
 
   /// Adds an external endpoint (client, collector...) reached over the
-  /// client link model.
+  /// client link model (one per-node link entry, not a per-VM fan-out).
   NodeId add_external_node(std::string name, PacketHandler on_packet);
 
   /// Sends a packet from an external node (src is filled in).
   void send_external(NodeId from, net::Packet pkt);
 
-  /// Boots every VM: exchanges machine clocks and starts each replica with
-  /// the median as the initial virtual time (Sec. IV-A).
+  /// Boots every wired VM, batched per machine shard: exchanges machine
+  /// clocks and starts each replica with the median as the initial virtual
+  /// time (Sec. IV-A). Lazily wired VMs boot at materialization instead.
   void start();
 
   /// Runs the simulation for `d` (of simulated real time).
@@ -104,16 +112,25 @@ class Cloud {
   /// Stops all guests (no further slices are scheduled).
   void halt_all();
 
+  /// Forces materialization of a lazily wired VM (idempotent).
+  void materialize(VmHandle vm) { topo_->materialize(vm.index); }
+
   // --- Introspection ---
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] topology::TopologyBuilder& topology() { return *topo_; }
   [[nodiscard]] hypervisor::Machine& machine(int idx);
-  [[nodiscard]] int machine_count() const { return static_cast<int>(machines_.size()); }
+  [[nodiscard]] int machine_count() const {
+    return topo_->machines().machine_count();
+  }
   [[nodiscard]] hypervisor::GuestContext& replica(VmHandle vm, int replica);
   [[nodiscard]] int replicas_of(VmHandle vm) const;
+  [[nodiscard]] bool vm_materialized(VmHandle vm) const {
+    return topo_->materialized(vm.index);
+  }
   [[nodiscard]] NodeId vm_addr(VmHandle vm) const;
-  [[nodiscard]] NodeId egress_node() const { return egress_node_; }
+  [[nodiscard]] NodeId egress_node() const { return topo_->egress_node(); }
   [[nodiscard]] const EgressStats& egress_stats(VmHandle vm) const;
   [[nodiscard]] const CloudConfig& config() const { return cfg_; }
 
@@ -125,44 +142,11 @@ class Cloud {
   [[nodiscard]] std::uint64_t total_divergences() const;
 
  private:
-  struct VmEntry {
-    std::string name;
-    VmId id{};
-    NodeId addr{};
-    std::vector<int> machines;
-    std::vector<std::unique_ptr<hypervisor::GuestContext>> replicas;
-    std::unique_ptr<net::MulticastGroup> control_group;
-    std::unique_ptr<net::MulticastGroup> ingress_group;
-    std::uint64_t ingress_seq{0};
-    // Egress reassembly: out_seq -> (copies seen, first hash, released).
-    struct EgressSlot {
-      int copies{0};
-      std::uint64_t hash{0};
-      bool released{false};
-    };
-    std::map<std::uint64_t, EgressSlot> egress_slots;
-    EgressStats egress_stats;
-  };
-
-  void on_machine_frame(int machine_idx, const net::Frame& frame);
-  void on_ingress_packet(std::uint32_t vm_index, const net::Packet& pkt);
-  void on_egress_frame(const net::Frame& frame);
-  [[nodiscard]] int effective_replicas() const {
-    return cfg_.policy == Policy::kStopWatch ? cfg_.replica_count : 1;
-  }
-
   CloudConfig cfg_;
   Rng root_rng_;
   sim::Simulator sim_;
   net::Network net_;
-  std::vector<std::unique_ptr<hypervisor::Machine>> machines_;
-  std::vector<NodeId> machine_nodes_;
-  NodeId egress_node_{};
-  std::vector<VmEntry> vms_;
-  std::map<std::uint32_t, std::uint32_t> addr_to_vm_;  // addr node -> vm idx
-  std::vector<NodeId> external_nodes_;
-  std::map<std::uint32_t, net::MulticastGroup*> groups_;  // by group id
-  std::uint32_t next_group_id_{1};
+  std::unique_ptr<topology::TopologyBuilder> topo_;
   bool started_{false};
 };
 

@@ -67,6 +67,11 @@ std::string json_number(std::uint64_t v) {
   return std::string(buf, end);
 }
 
+bool parse_double_strict(std::string_view s, double& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
 bool JsonValue::as_bool() const {
   SW_EXPECTS(kind_ == Kind::kBool);
   return bool_;

@@ -26,6 +26,12 @@ namespace stopwatch::experiment {
 
 [[nodiscard]] std::string json_number(std::uint64_t v);
 
+/// Parses `s` as a double, requiring the whole string to be consumed (no
+/// trailing garbage, no leading whitespace). The one numeric-override
+/// parser shared by the CLI pre-validation and the ScenarioContext
+/// contract check, so both accept exactly the same strings.
+[[nodiscard]] bool parse_double_strict(std::string_view s, double& out);
+
 /// A parsed JSON document node. Objects preserve member order and allow
 /// duplicate-free lookup by key; accessors contract-check the kind, so a
 /// schema mismatch surfaces as a ContractViolation instead of garbage.

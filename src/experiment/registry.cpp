@@ -32,8 +32,7 @@ std::vector<const Scenario*> ScenarioRegistry::list() const {
 }
 
 Result ScenarioRegistry::run(const std::string& name, std::uint64_t seed,
-                             bool smoke,
-                             std::map<std::string, double> overrides) const {
+                             bool smoke, ParamOverrides overrides) const {
   const Scenario* scenario = find(name);
   SW_EXPECTS(scenario != nullptr);
   const ScenarioContext ctx(derive_scenario_seed(seed, name), smoke,

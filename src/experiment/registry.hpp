@@ -36,8 +36,7 @@ class ScenarioRegistry {
   /// which other scenarios ran, or on what thread ran it. The Result is
   /// stamped with the invocation `seed`, the value a user re-runs with.
   [[nodiscard]] Result run(const std::string& name, std::uint64_t seed,
-                           bool smoke,
-                           std::map<std::string, double> overrides = {}) const;
+                           bool smoke, ParamOverrides overrides = {}) const;
 
  private:
   std::map<std::string, Scenario> scenarios_;

@@ -49,8 +49,9 @@ bool Result::has_metric(const std::string& name) const {
                      [&](const Metric& m) { return m.name == name; });
 }
 
-void Result::set_context(std::uint64_t seed, bool smoke,
-                         std::vector<std::pair<std::string, double>> params) {
+void Result::set_context(
+    std::uint64_t seed, bool smoke,
+    std::vector<std::pair<std::string, std::string>> params) {
   seed_ = seed;
   smoke_ = smoke;
   params_ = std::move(params);
@@ -70,7 +71,7 @@ std::string Result::to_json(int indent) const {
   out += p1 + "\"params\": {";
   for (std::size_t i = 0; i < params_.size(); ++i) {
     out += (i == 0 ? "\n" : ",\n") + p2 + json_string(params_[i].first) + ": " +
-           json_number(params_[i].second);
+           params_[i].second;  // already JSON-encoded
   }
   out += params_.empty() ? "},\n" : "\n" + p1 + "},\n";
 

@@ -52,9 +52,11 @@ class Result {
   [[nodiscard]] double metric(const std::string& name) const;
   [[nodiscard]] bool has_metric(const std::string& name) const;
 
-  // Stamped by the runner before serialization.
+  // Stamped by the runner before serialization. Param values arrive
+  // pre-encoded as JSON (numbers for numeric knobs, quoted strings for
+  // enumerated ones).
   void set_context(std::uint64_t seed, bool smoke,
-                   std::vector<std::pair<std::string, double>> params);
+                   std::vector<std::pair<std::string, std::string>> params);
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   /// Serializes to deterministic, pretty-printed JSON (2-space indent).
@@ -66,7 +68,8 @@ class Result {
   std::string scenario_;
   std::uint64_t seed_{0};
   bool smoke_{false};
-  std::vector<std::pair<std::string, double>> params_;
+  /// (name, pre-encoded JSON value) pairs in schema order.
+  std::vector<std::pair<std::string, std::string>> params_;
   std::vector<Metric> metrics_;
   std::vector<Series> series_;
   std::string note_;

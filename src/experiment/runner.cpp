@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "common/thread_pool.hpp"
+#include "experiment/json.hpp"
 #include "experiment/registry.hpp"
 
 namespace stopwatch::experiment {
@@ -40,11 +41,6 @@ bool parse_u64(std::string_view s, std::uint64_t& out) {
   return ec == std::errc{} && ptr == s.data() + s.size();
 }
 
-bool parse_double(std::string_view s, double& out) {
-  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-  return ec == std::errc{} && ptr == s.data() + s.size();
-}
-
 void print_catalog() {
   const auto scenarios = ScenarioRegistry::instance().list();
   std::printf("%zu registered scenarios:\n\n", scenarios.size());
@@ -52,9 +48,15 @@ void print_catalog() {
     std::printf("%-24s %s%s\n", s->name.c_str(), s->description.c_str(),
                 s->deterministic ? "" : "  [non-deterministic]");
     for (const ParamSpec& p : s->params) {
-      std::printf("    --param %s=<v>  %s (default %g, smoke %g)\n",
-                  p.name.c_str(), p.description.c_str(), p.default_value,
-                  p.smoke_value);
+      if (p.kind == ParamSpec::Kind::kEnum) {
+        std::printf("    --param %s=<%s>  %s (default %s)\n", p.name.c_str(),
+                    p.choices_joined().c_str(), p.description.c_str(),
+                    p.default_choice.c_str());
+      } else {
+        std::printf("    --param %s=<v>  %s (default %g, smoke %g)\n",
+                    p.name.c_str(), p.description.c_str(), p.default_value,
+                    p.smoke_value);
+      }
     }
   }
 }
@@ -77,11 +79,10 @@ void print_result(const Result& result) {
 /// The per-task body: runs one scenario into its own outcome slot,
 /// translating every escape (contract violations, scenario bugs, non-std
 /// exceptions) into a captured per-scenario error so siblings keep running.
-void run_one_scenario(const Scenario& scenario,
-                      const std::map<std::string, double>& overrides,
+void run_one_scenario(const Scenario& scenario, const ParamOverrides& overrides,
                       std::uint64_t seed, bool smoke, ScenarioOutcome& out) {
   out.name = scenario.name;
-  std::map<std::string, double> scenario_overrides;
+  ParamOverrides scenario_overrides;
   for (const auto& [param, value] : overrides) {
     const bool declared =
         std::any_of(scenario.params.begin(), scenario.params.end(),
@@ -107,8 +108,8 @@ void run_one_scenario(const Scenario& scenario,
 
 std::vector<ScenarioOutcome> run_scenarios(
     const std::vector<const Scenario*>& selected,
-    const std::map<std::string, double>& overrides, std::uint64_t seed,
-    bool smoke, std::uint64_t jobs, const OutcomeCallback& on_complete) {
+    const ParamOverrides& overrides, std::uint64_t seed, bool smoke,
+    std::uint64_t jobs, const OutcomeCallback& on_complete) {
   std::vector<ScenarioOutcome> outcomes(selected.size());
   const std::size_t workers = std::min<std::size_t>(
       recommended_jobs(static_cast<std::size_t>(jobs)),
@@ -204,13 +205,14 @@ bool parse_runner_options(int argc, const char* const* argv,
       std::string_view v;
       if (!next_value(arg, v)) return false;
       const std::size_t eq = v.find('=');
-      double value = 0.0;
-      if (eq == std::string_view::npos || eq == 0 ||
-          !parse_double(v.substr(eq + 1), value)) {
-        error = "--param expects <name>=<number>, got '" + std::string(v) + "'";
+      // Values stay text here: whether "median" or "2.5" is valid depends
+      // on the declaring scenario's schema, checked after selection.
+      if (eq == std::string_view::npos || eq == 0 || eq + 1 == v.size()) {
+        error = "--param expects <name>=<value>, got '" + std::string(v) + "'";
         return false;
       }
-      options.param_overrides.emplace_back(std::string(v.substr(0, eq)), value);
+      options.param_overrides.emplace_back(std::string(v.substr(0, eq)),
+                                           std::string(v.substr(eq + 1)));
     } else {
       error = "unknown argument '" + std::string(arg) + "'";
       return false;
@@ -258,7 +260,7 @@ int run_cli(int argc, const char* const* argv) {
   // Last occurrence wins for repeated --param keys, matching the usual CLI
   // convention for appended overrides (the map range constructor would keep
   // an unspecified one).
-  std::map<std::string, double> overrides;
+  ParamOverrides overrides;
   for (const auto& [param, value] : options.param_overrides) {
     overrides[param] = value;
   }
@@ -266,7 +268,7 @@ int run_cli(int argc, const char* const* argv) {
   // An override must be declared by at least one selected scenario and be
   // valid for every selected scenario that declares it; the rest simply
   // don't receive it, so --param composes with --all/--smoke sweeps.
-  for (const auto& [param, value] : overrides) {
+  for (const auto& [param, text] : overrides) {
     bool declared = false;
     for (const Scenario* scenario : selected) {
       const auto spec =
@@ -274,6 +276,27 @@ int run_cli(int argc, const char* const* argv) {
                        [&](const ParamSpec& p) { return p.name == param; });
       if (spec == scenario->params.end()) continue;
       declared = true;
+      if (spec->kind == ParamSpec::Kind::kEnum) {
+        if (std::find(spec->choices.begin(), spec->choices.end(), text) ==
+            spec->choices.end()) {
+          std::fprintf(stderr,
+                       "error: --param %s=%s must be one of %s for "
+                       "scenario '%s'\n",
+                       param.c_str(), text.c_str(),
+                       spec->choices_joined().c_str(),
+                       scenario->name.c_str());
+          return 2;
+        }
+        continue;
+      }
+      double value = 0.0;
+      if (!parse_double_strict(text, value)) {
+        std::fprintf(stderr,
+                     "error: --param %s expects a number for scenario "
+                     "'%s', got '%s'\n",
+                     param.c_str(), scenario->name.c_str(), text.c_str());
+        return 2;
+      }
       if (value < spec->min_value || value > spec->max_value) {
         std::fprintf(stderr,
                      "error: --param %s=%g is out of range [%g, %g] for "

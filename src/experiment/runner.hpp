@@ -26,7 +26,10 @@ struct RunnerOptions {
   /// 0 = one per hardware thread.
   std::uint64_t jobs{1};
   std::vector<std::string> scenarios;
-  std::vector<std::pair<std::string, double>> param_overrides;
+  /// Raw --param key=value pairs in command-line order; values stay text
+  /// until each scenario's schema says whether they are numbers or enum
+  /// choices.
+  std::vector<std::pair<std::string, std::string>> param_overrides;
   std::string json_path;
 };
 
@@ -61,8 +64,8 @@ using OutcomeCallback =
 /// byte-identical across --jobs values.
 [[nodiscard]] std::vector<ScenarioOutcome> run_scenarios(
     const std::vector<const Scenario*>& selected,
-    const std::map<std::string, double>& overrides, std::uint64_t seed,
-    bool smoke, std::uint64_t jobs, const OutcomeCallback& on_complete = {});
+    const ParamOverrides& overrides, std::uint64_t seed, bool smoke,
+    std::uint64_t jobs, const OutcomeCallback& on_complete = {});
 
 /// Runs the experiment CLI: --list / --scenario <name> / --all / --seed N /
 /// --smoke / --jobs N / --param k=v / --json <path>. Returns a process exit

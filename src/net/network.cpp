@@ -25,9 +25,19 @@ void Network::set_link_bidirectional(NodeId a, NodeId b, LinkModel model) {
   set_link(b, a, model);
 }
 
+void Network::set_node_link(NodeId node_id, LinkModel model) {
+  SW_EXPECTS(node_id.value < nodes_.size());
+  node_links_[node_id.value] = model;
+}
+
 const LinkModel& Network::link_for(NodeId src, NodeId dst) const {
   const auto it = links_.find({src.value, dst.value});
-  return it == links_.end() ? default_link_ : it->second;
+  if (it != links_.end()) return it->second;
+  const auto src_it = node_links_.find(src.value);
+  if (src_it != node_links_.end()) return src_it->second;
+  const auto dst_it = node_links_.find(dst.value);
+  if (dst_it != node_links_.end()) return dst_it->second;
+  return default_link_;
 }
 
 Network::Node& Network::node(NodeId id) {
@@ -72,6 +82,8 @@ bool Network::send(Frame frame) {
   const RealTime arrival = tx_done + prop;
   const NodeId dst_id = frame.dst;
   sim_->schedule_at(arrival, [this, dst_id, f = std::move(frame)]() {
+    // nodes_ is a deque precisely so this reference survives handlers that
+    // register new nodes mid-delivery (lazy replica wiring).
     Node& d = node(dst_id);
     d.stats.frames_received += 1;
     d.stats.bytes_received += f.size_bytes;

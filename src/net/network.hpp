@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
-#include <vector>
 
 #include "common/contracts.hpp"
 #include "common/ids.hpp"
@@ -59,6 +59,13 @@ class Network {
   void set_link(NodeId src, NodeId dst, LinkModel model);
   /// Sets the link model for both directions.
   void set_link_bidirectional(NodeId a, NodeId b, LinkModel model);
+  /// Default model for any frame with `node` as source or destination that
+  /// has no explicit per-pair link. One entry covers a node's traffic with
+  /// the whole cloud — O(1) state instead of a per-pair entry against every
+  /// VM, which is what lets a 40k-VM topology wire an external client
+  /// without dense fan-out. Resolution order: pair link, then source node
+  /// link, then destination node link, then the global default.
+  void set_node_link(NodeId node, LinkModel model);
   /// Default model for pairs without an explicit link.
   void set_default_link(LinkModel model) { default_link_ = model; }
 
@@ -89,8 +96,12 @@ class Network {
 
   sim::Simulator* sim_;
   Rng rng_;
-  std::vector<Node> nodes_;
+  /// Deque, not vector: handlers may register new nodes mid-delivery (lazy
+  /// replica wiring materializes on first traffic), and a deque keeps the
+  /// executing node — and its handler — reference-stable through that.
+  std::deque<Node> nodes_;
   std::map<std::pair<std::uint32_t, std::uint32_t>, LinkModel> links_;
+  std::map<std::uint32_t, LinkModel> node_links_;
   LinkModel default_link_{};
   std::uint64_t frames_dropped_{0};
 };

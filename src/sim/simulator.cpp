@@ -20,6 +20,18 @@ EventId Simulator::schedule_after(Duration delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
+EventId Simulator::schedule_batch(RealTime at, std::vector<Callback> batch) {
+  SW_EXPECTS(!batch.empty());
+  for (const Callback& cb : batch) SW_EXPECTS(cb != nullptr);
+  batched_ += batch.size();
+  return schedule_at(at, [this, b = std::move(batch)] {
+    // step() already counted the entry once; count the remaining callbacks
+    // so a batch of k reads as k executed events.
+    executed_ += b.size() - 1;
+    for (const Callback& cb : b) cb();
+  });
+}
+
 bool Simulator::cancel(EventId id) {
   auto it = callbacks_.find(id.value);
   if (it == callbacks_.end()) return false;

@@ -43,6 +43,13 @@ class Simulator {
   /// zero (fires this instant, after already-queued same-time events).
   EventId schedule_after(Duration delay, Callback cb);
 
+  /// Schedule a batch of callbacks as ONE queue entry at absolute time `at`;
+  /// when it fires the callbacks run back to back in vector order. A shard
+  /// of k same-time events costs one heap insertion instead of k — the
+  /// topology layer uses this to boot machine shards without flooding the
+  /// queue. Cancelling the returned id cancels the whole batch.
+  EventId schedule_batch(RealTime at, std::vector<Callback> batch);
+
   /// Cancel a pending event. Cancelling an already-fired or unknown event is
   /// a no-op and returns false.
   bool cancel(EventId id);
@@ -56,8 +63,13 @@ class Simulator {
   /// Run events with timestamp <= t, then advance the clock to exactly t.
   void run_until(RealTime t);
 
-  /// Number of events executed so far.
+  /// Number of events executed so far. A batch of k callbacks counts k (the
+  /// count reflects work performed, not queue entries consumed).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of callbacks that rode inside batches instead of occupying
+  /// their own queue entries (diagnostics for the batching win).
+  [[nodiscard]] std::uint64_t batched_callbacks() const { return batched_; }
 
   /// Number of events currently pending (including cancelled-but-queued).
   [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
@@ -76,6 +88,7 @@ class Simulator {
   RealTime now_{};
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
+  std::uint64_t batched_{0};
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   // Callbacks stored separately, keyed by seq, so Entry stays trivially
   // copyable inside the heap.

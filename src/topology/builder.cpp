@@ -1,0 +1,372 @@
+#include "topology/builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace stopwatch::topology {
+
+using hypervisor::Policy;
+
+TopologyBuilder::TopologyBuilder(sim::Simulator& sim, net::Network& net,
+                                 TopologyConfig cfg)
+    : cfg_(cfg),
+      sim_(&sim),
+      net_(&net),
+      table_(sim, net,
+             MachineTableConfig{cfg.machine_count, cfg.shard_size, cfg.seed,
+                                cfg.machine_template, cfg.clock_offset_spread},
+             [this](int machine, const net::Frame& f) {
+               on_machine_frame(machine, f);
+             }) {
+  SW_EXPECTS_MSG(cfg_.replica_count >= 1,
+                 "TopologyConfig.replica_count must be >= 1 (got " +
+                     std::to_string(cfg_.replica_count) + ")");
+  SW_EXPECTS_MSG(cfg_.replica_count % 2 == 1,
+                 "TopologyConfig.replica_count must be odd for median "
+                 "agreement (got " +
+                     std::to_string(cfg_.replica_count) + ")");
+  if (cfg_.policy == Policy::kStopWatch) {
+    SW_EXPECTS_MSG(
+        cfg_.replica_count <= cfg_.machine_count,
+        "TopologyConfig.replica_count (" +
+            std::to_string(cfg_.replica_count) +
+            ") cannot exceed machine_count (" +
+            std::to_string(cfg_.machine_count) +
+            "): replicas must land on distinct machines");
+  }
+  // Eager mode reproduces the dense construction: machines (and their
+  // network nodes) exist up front, then the egress node.
+  if (cfg_.wiring == WiringMode::kEager) table_.materialize_all();
+  egress_node_ = net_->add_node(
+      "egress", [this](const net::Frame& f) { on_egress_frame(f); });
+}
+
+std::uint32_t TopologyBuilder::add_vm(std::string name, ProgramFactory factory,
+                                      const std::vector<int>& machine_indices) {
+  SW_EXPECTS(!started_);
+  SW_EXPECTS(factory != nullptr);
+  const int replicas = effective_replicas();
+  SW_EXPECTS_MSG(static_cast<int>(machine_indices.size()) >= replicas,
+                 "VM '" + name + "' needs " + std::to_string(replicas) +
+                     " machine indices, got " +
+                     std::to_string(machine_indices.size()));
+
+  const auto vm_index = static_cast<std::uint32_t>(vms_.size());
+  vms_.push_back(VmEntry{});
+  VmEntry& entry = vms_.back();
+  entry.name = std::move(name);
+  entry.id = VmId{vm_index};
+  entry.machines.assign(machine_indices.begin(),
+                        machine_indices.begin() + replicas);
+  entry.factory = std::move(factory);
+  entry.det_seed = SplitMix64(cfg_.seed ^ (0xABCDULL + vm_index)).next();
+  for (int m : entry.machines) {
+    SW_EXPECTS_MSG(m >= 0 && m < cfg_.machine_count,
+                   "VM '" + entry.name + "' machine index " +
+                       std::to_string(m) + " out of range [0, " +
+                       std::to_string(cfg_.machine_count) + ")");
+  }
+  // Replica placement constraint sanity: distinct machines.
+  for (std::size_t i = 0; i < entry.machines.size(); ++i) {
+    for (std::size_t j = i + 1; j < entry.machines.size(); ++j) {
+      SW_EXPECTS_MSG(entry.machines[i] != entry.machines[j],
+                     "VM '" + entry.name +
+                         "' places two replicas on machine " +
+                         std::to_string(entry.machines[i]));
+    }
+  }
+
+  // The VM's logical address doubles as its ingress entry point. This is
+  // the only per-VM state a lazy registration pays for.
+  entry.addr = net_->add_node(
+      "vm-" + entry.name + "-addr",
+      [this, vm_index](const net::Frame& f) { on_addr_frame(vm_index, f); });
+  addr_to_vm_[entry.addr.value] = vm_index;
+
+  if (cfg_.wiring == WiringMode::kEager) wire(vm_index);
+  return vm_index;
+}
+
+void TopologyBuilder::wire(std::uint32_t vm_index) {
+  VmEntry& entry = vms_[vm_index];
+  SW_ASSERT(!entry.wired);
+  const int replicas = effective_replicas();
+
+  // Control and ingress multicast groups (StopWatch only).
+  if (cfg_.policy == Policy::kStopWatch && replicas > 1) {
+    entry.control_group =
+        std::make_unique<net::MulticastGroup>(*net_, next_group_id_++);
+    entry.ingress_group =
+        std::make_unique<net::MulticastGroup>(*net_, next_group_id_++);
+    entry.ingress_group_id = next_group_id_ - 1;
+    groups_[next_group_id_ - 2] = entry.control_group.get();
+    groups_[next_group_id_ - 1] = entry.ingress_group.get();
+
+    // Ingress node is the (sole) sender in the ingress group; NAKs flowing
+    // back to it are routed by on_addr_frame.
+    entry.ingress_group->add_member(entry.addr,
+                                    [](NodeId, const net::FramePayload&) {});
+  }
+
+  for (int r = 0; r < replicas; ++r) {
+    const int m = entry.machines[static_cast<std::size_t>(r)];
+    hypervisor::GuestContextConfig gc = cfg_.guest_template;
+    gc.policy = cfg_.policy;
+    gc.replica_count = replicas;
+
+    hypervisor::ReplicaServices services;
+    services.machine_node = table_.machine_node(m);
+    services.egress_node = egress_node_;
+    services.send_frame = [this](net::Frame f) { net_->send(std::move(f)); };
+    if (entry.control_group) {
+      net::MulticastGroup* group = entry.control_group.get();
+      const NodeId node = table_.machine_node(m);
+      services.control_multicast = [group, node](net::FramePayload payload,
+                                                 std::uint32_t bytes) {
+        group->send(node, std::move(payload), bytes);
+      };
+    }
+
+    auto ctx = std::make_unique<hypervisor::GuestContext>(
+        entry.id, ReplicaIndex{static_cast<std::uint32_t>(r)}, entry.addr,
+        table_.machine(m), *sim_, gc, entry.factory(), entry.det_seed,
+        std::move(services));
+
+    if (entry.control_group) {
+      hypervisor::GuestContext* raw = ctx.get();
+      entry.control_group->add_member(
+          table_.machine_node(m),
+          [raw](NodeId, const net::FramePayload& p) {
+            if (const auto* prop = std::get_if<net::Proposal>(&p)) {
+              raw->on_proposal(*prop);
+            } else if (const auto* b = std::get_if<net::SyncBeacon>(&p)) {
+              raw->on_sync_beacon(*b);
+            } else if (const auto* e = std::get_if<net::EpochReport>(&p)) {
+              raw->on_epoch_report(*e);
+            }
+          });
+    }
+    if (entry.ingress_group) {
+      hypervisor::GuestContext* raw = ctx.get();
+      entry.ingress_group->add_member(
+          table_.machine_node(m),
+          [raw](NodeId, const net::FramePayload& p) {
+            if (const auto* c = std::get_if<net::IngressCopy>(&p)) {
+              raw->on_ingress_copy(*c);
+            }
+          });
+    }
+    entry.replicas.push_back(std::move(ctx));
+  }
+  entry.wired = true;
+  ++materialized_vms_;
+}
+
+void TopologyBuilder::boot(VmEntry& entry) {
+  SW_ASSERT(entry.wired && !entry.booted);
+  // Exchange of boot-time machine clocks; start = median (Sec. IV-A).
+  std::vector<std::int64_t> clocks;
+  for (int m : entry.machines) {
+    clocks.push_back(table_.machine(m).local_clock().ns);
+  }
+  std::sort(clocks.begin(), clocks.end());
+  const VirtTime start{clocks[(clocks.size() - 1) / 2]};
+  for (auto& replica : entry.replicas) {
+    replica->start(start);
+  }
+  entry.booted = true;
+}
+
+void TopologyBuilder::start() {
+  SW_EXPECTS(!started_);
+  started_ = true;
+  // One boot batch per machine shard: a shard of wired VMs costs one
+  // simulator queue entry instead of one per VM.
+  std::map<int, std::vector<sim::Simulator::Callback>> batches;
+  for (std::uint32_t i = 0; i < vms_.size(); ++i) {
+    if (!vms_[i].wired || vms_[i].booted) continue;
+    const int shard = table_.shard_of(vms_[i].machines.front());
+    batches[shard].push_back([this, i] { boot(vms_[i]); });
+  }
+  for (auto& [shard, batch] : batches) {
+    sim_->schedule_batch(sim_->now(), std::move(batch));
+  }
+}
+
+void TopologyBuilder::halt_all() {
+  for (auto& vm : vms_) {
+    for (auto& r : vm.replicas) r->halt();
+  }
+}
+
+void TopologyBuilder::materialize(std::uint32_t vm) {
+  SW_EXPECTS(vm < vms_.size());
+  VmEntry& entry = vms_[vm];
+  if (entry.wired) return;  // idempotent: replays never re-wire
+  wire(vm);
+  if (started_) boot(vms_[vm]);
+}
+
+bool TopologyBuilder::materialized(std::uint32_t vm) const {
+  SW_EXPECTS(vm < vms_.size());
+  return vms_[vm].wired;
+}
+
+NodeId TopologyBuilder::vm_addr(std::uint32_t vm) const {
+  SW_EXPECTS(vm < vms_.size());
+  return vms_[vm].addr;
+}
+
+const std::vector<int>& TopologyBuilder::vm_machines(std::uint32_t vm) const {
+  SW_EXPECTS(vm < vms_.size());
+  return vms_[vm].machines;
+}
+
+int TopologyBuilder::replicas_of(std::uint32_t vm) const {
+  SW_EXPECTS(vm < vms_.size());
+  return static_cast<int>(vms_[vm].replicas.size());
+}
+
+hypervisor::GuestContext& TopologyBuilder::replica(std::uint32_t vm, int r) {
+  SW_EXPECTS(vm < vms_.size());
+  SW_EXPECTS_MSG(vms_[vm].wired,
+                 "VM '" + vms_[vm].name +
+                     "' is not materialized yet (lazy wiring: no traffic has "
+                     "reached it)");
+  SW_EXPECTS(r >= 0 && r < static_cast<int>(vms_[vm].replicas.size()));
+  return *vms_[vm].replicas[static_cast<std::size_t>(r)];
+}
+
+const EgressStats& TopologyBuilder::egress_stats(std::uint32_t vm) const {
+  SW_EXPECTS(vm < vms_.size());
+  return vms_[vm].egress_stats;
+}
+
+bool TopologyBuilder::replicas_deterministic(std::uint32_t vm) const {
+  SW_EXPECTS(vm < vms_.size());
+  const VmEntry& entry = vms_[vm];
+  for (std::size_t i = 1; i < entry.replicas.size(); ++i) {
+    const auto& a = entry.replicas[0]->output_hashes();
+    const auto& b = entry.replicas[i]->output_hashes();
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      if (a[k] != b[k]) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t TopologyBuilder::total_divergences() const {
+  std::uint64_t total = 0;
+  for (const auto& vm : vms_) {
+    for (const auto& r : vm.replicas) {
+      const auto& s = r->stats();
+      total += s.divergence_median_passed + s.divergence_disk_late +
+               s.divergence_epoch_missing;
+    }
+    total += vm.egress_stats.hash_mismatches;
+  }
+  return total;
+}
+
+void TopologyBuilder::on_addr_frame(std::uint32_t vm_index,
+                                    const net::Frame& frame) {
+  // Lazy wiring: the first frame reaching a VM's ingress address
+  // materializes its replicas (pre-start frames wire too — materialize()
+  // defers the boot to start() — so laziness never drops traffic an eager
+  // cloud would deliver). Replays find the entry wired and fall straight
+  // through to delivery.
+  if (!vms_[vm_index].wired && cfg_.wiring == WiringMode::kLazy) {
+    materialize(vm_index);
+  }
+  VmEntry& entry = vms_[vm_index];
+  if (entry.ingress_group && frame.rm_group == entry.ingress_group_id) {
+    // NAKs of the ingress stream flow back to the (sender) ingress node.
+    entry.ingress_group->on_frame(entry.addr, frame);
+    return;
+  }
+  if (const auto* gp = std::get_if<net::GuestPacketPayload>(&frame.payload)) {
+    on_ingress_packet(vm_index, gp->pkt);
+  }
+}
+
+void TopologyBuilder::on_ingress_packet(std::uint32_t vm_index,
+                                        const net::Packet& pkt) {
+  VmEntry& entry = vms_[vm_index];
+  SW_ASSERT(entry.wired);  // on_addr_frame materialized lazy entries
+  if (cfg_.policy == Policy::kStopWatch && entry.ingress_group) {
+    net::IngressCopy copy;
+    copy.vm = entry.id;
+    copy.copy_seq = ++entry.ingress_seq;
+    copy.pkt = pkt;
+    entry.ingress_group->send(entry.addr, copy,
+                              pkt.size_bytes + net::kHeaderBytes);
+  } else {
+    // Baseline: forward to the (single) hosting machine.
+    net::Frame f;
+    f.src = entry.addr;
+    f.dst = table_.machine_node(entry.machines[0]);
+    f.size_bytes = pkt.size_bytes;
+    f.payload = net::GuestPacketPayload{pkt};
+    net_->send(std::move(f));
+  }
+}
+
+void TopologyBuilder::on_machine_frame(int machine_idx,
+                                       const net::Frame& frame) {
+  // Reliable-multicast frames route to their group.
+  if (frame.rm_group != 0) {
+    const auto it = groups_.find(frame.rm_group);
+    SW_ASSERT(it != groups_.end());
+    it->second->on_frame(table_.machine_node(machine_idx), frame);
+    return;
+  }
+  // Baseline direct guest packet: find the addressed VM on this machine.
+  if (const auto* gp = std::get_if<net::GuestPacketPayload>(&frame.payload)) {
+    const auto it = addr_to_vm_.find(gp->pkt.dst.value);
+    if (it == addr_to_vm_.end()) return;
+    VmEntry& entry = vms_[it->second];
+    for (std::size_t r = 0; r < entry.replicas.size(); ++r) {
+      if (entry.machines[r] == machine_idx) {
+        entry.replicas[r]->on_direct_packet(gp->pkt);
+        return;
+      }
+    }
+  }
+}
+
+void TopologyBuilder::on_egress_frame(const net::Frame& frame) {
+  const auto* out = std::get_if<net::TunneledOutput>(&frame.payload);
+  if (out == nullptr) return;
+  SW_ASSERT(out->vm.value < vms_.size());
+  VmEntry& entry = vms_[out->vm.value];
+  SW_ASSERT(entry.wired);  // only running replicas tunnel output
+  auto& slot = entry.egress_slots[out->out_seq];
+  if (slot.copies == 0) {
+    slot.hash = out->content_hash;
+  } else if (slot.hash != out->content_hash) {
+    ++entry.egress_stats.hash_mismatches;
+  }
+  ++slot.copies;
+
+  // Release on the ((r+1)/2)-th copy: the median emission timing.
+  const int release_at = (static_cast<int>(entry.replicas.size()) + 1) / 2;
+  if (!slot.released && slot.copies >= release_at) {
+    slot.released = true;
+    ++entry.egress_stats.packets_released;
+    net::Frame f;
+    f.src = egress_node_;
+    f.dst = out->pkt.dst;
+    f.size_bytes = out->pkt.size_bytes;
+    f.payload = net::GuestPacketPayload{out->pkt};
+    net_->send(std::move(f));
+  }
+  if (slot.copies >= static_cast<int>(entry.replicas.size())) {
+    entry.egress_slots.erase(out->out_seq);
+  }
+}
+
+}  // namespace stopwatch::topology

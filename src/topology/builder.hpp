@@ -1,0 +1,173 @@
+// Cloud-scale topology assembly — the layer between the simulator kernel
+// and core::Cloud.
+//
+// The TopologyBuilder owns the structure of the cloud: the sharded
+// MachineTable, the ingress/egress fabric, and one VmEntry per guest VM.
+// Two wiring modes govern when a VM's expensive parts — its control and
+// ingress multicast groups, its replica GuestContexts, its machines'
+// shards — come into existence:
+//
+//  * WiringMode::kEager (the seed behaviour): everything is built inside
+//    add_vm and booted by start(). Boot events are batched per machine
+//    shard into single simulator entries (Simulator::schedule_batch).
+//  * WiringMode::kLazy: add_vm records only the placement (name, machine
+//    triple, program factory, deterministic seed) and registers the VM's
+//    ingress address node; the first frame that arrives there materializes
+//    the wiring and boots the replicas at the median of their machines'
+//    clocks — exactly the Sec. IV-A boot rule, applied on demand.
+//    Registering Θ(n²) placements over n = 501 machines therefore costs
+//    O(VMs) records and zero scheduled events; only driven VMs ever pay
+//    for replicas.
+//
+// Frame routing (ingress replication, reliable-multicast group dispatch,
+// median egress release) lives here too: it is placement-scale plumbing,
+// not policy — the delivery-time agreement itself stays in
+// hypervisor::GuestContext.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "hypervisor/guest_context.hpp"
+#include "net/multicast.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "topology/machine_table.hpp"
+#include "vm/guest.hpp"
+
+namespace stopwatch::topology {
+
+/// When a VM's replicas, multicast groups, and machine shards are built.
+enum class WiringMode {
+  kEager,  ///< at add_vm (all tests/scenarios predating the topology layer)
+  kLazy,   ///< on the first frame reaching the VM's ingress address
+};
+
+struct TopologyConfig {
+  std::uint64_t seed{1};
+  hypervisor::Policy policy{hypervisor::Policy::kStopWatch};
+  int replica_count{3};
+  int machine_count{1};
+  int shard_size{64};
+  WiringMode wiring{WiringMode::kEager};
+  hypervisor::MachineConfig machine_template{};
+  hypervisor::GuestContextConfig guest_template{};
+  Duration clock_offset_spread{};
+};
+
+/// Per-VM egress statistics.
+struct EgressStats {
+  std::uint64_t packets_released{0};
+  /// Replica output hash mismatches observed at the egress (must stay 0:
+  /// replicas are deterministic).
+  std::uint64_t hash_mismatches{0};
+};
+
+class TopologyBuilder {
+ public:
+  using ProgramFactory = std::function<std::unique_ptr<vm::GuestProgram>()>;
+
+  TopologyBuilder(sim::Simulator& sim, net::Network& net, TopologyConfig cfg);
+
+  TopologyBuilder(const TopologyBuilder&) = delete;
+  TopologyBuilder& operator=(const TopologyBuilder&) = delete;
+
+  /// Registers a guest VM placed on the first effective_replicas() entries
+  /// of `machine_indices` (validated: in range, pairwise distinct). Under
+  /// kEager the replicas are wired immediately; under kLazy only the
+  /// placement is recorded. Returns the VM index.
+  std::uint32_t add_vm(std::string name, ProgramFactory factory,
+                       const std::vector<int>& machine_indices);
+
+  /// Boots every wired VM, batching boot callbacks per machine shard into
+  /// single simulator entries at the current time. Under kLazy,
+  /// still-unwired VMs boot later, at materialization.
+  void start();
+
+  /// Halts every materialized replica.
+  void halt_all();
+
+  /// Wires (and, once started, boots) the VM now. Idempotent: the first
+  /// call materializes, replays are no-ops — the property the lazy ingress
+  /// path relies on.
+  void materialize(std::uint32_t vm);
+
+  // --- Introspection ---
+
+  [[nodiscard]] int effective_replicas() const {
+    return cfg_.policy == hypervisor::Policy::kStopWatch ? cfg_.replica_count
+                                                         : 1;
+  }
+  [[nodiscard]] MachineTable& machines() { return table_; }
+  [[nodiscard]] const MachineTable& machines() const { return table_; }
+  [[nodiscard]] NodeId egress_node() const { return egress_node_; }
+  [[nodiscard]] std::size_t vm_count() const { return vms_.size(); }
+  [[nodiscard]] std::size_t materialized_vm_count() const {
+    return materialized_vms_;
+  }
+  [[nodiscard]] bool materialized(std::uint32_t vm) const;
+  [[nodiscard]] NodeId vm_addr(std::uint32_t vm) const;
+  [[nodiscard]] const std::vector<int>& vm_machines(std::uint32_t vm) const;
+  /// Materialized replicas of `vm` (0 while lazily unwired).
+  [[nodiscard]] int replicas_of(std::uint32_t vm) const;
+  [[nodiscard]] hypervisor::GuestContext& replica(std::uint32_t vm, int r);
+  [[nodiscard]] const EgressStats& egress_stats(std::uint32_t vm) const;
+  /// True if every pair of materialized replicas of `vm` agrees on the
+  /// common prefix of emitted packet hashes (vacuously true while unwired).
+  [[nodiscard]] bool replicas_deterministic(std::uint32_t vm) const;
+  /// Sum of divergence counters across all materialized replicas plus
+  /// egress hash mismatches.
+  [[nodiscard]] std::uint64_t total_divergences() const;
+  [[nodiscard]] const TopologyConfig& config() const { return cfg_; }
+
+ private:
+  struct VmEntry {
+    std::string name;
+    VmId id{};
+    NodeId addr{};
+    std::vector<int> machines;
+    ProgramFactory factory;
+    std::uint64_t det_seed{0};
+    bool wired{false};
+    bool booted{false};
+    std::vector<std::unique_ptr<hypervisor::GuestContext>> replicas;
+    std::unique_ptr<net::MulticastGroup> control_group;
+    std::unique_ptr<net::MulticastGroup> ingress_group;
+    std::uint32_t ingress_group_id{0};
+    std::uint64_t ingress_seq{0};
+    // Egress reassembly: out_seq -> (copies seen, first hash, released).
+    struct EgressSlot {
+      int copies{0};
+      std::uint64_t hash{0};
+      bool released{false};
+    };
+    std::map<std::uint64_t, EgressSlot> egress_slots;
+    EgressStats egress_stats;
+  };
+
+  void wire(std::uint32_t vm_index);
+  void boot(VmEntry& entry);
+  void on_addr_frame(std::uint32_t vm_index, const net::Frame& frame);
+  void on_ingress_packet(std::uint32_t vm_index, const net::Packet& pkt);
+  void on_machine_frame(int machine_idx, const net::Frame& frame);
+  void on_egress_frame(const net::Frame& frame);
+
+  TopologyConfig cfg_;
+  sim::Simulator* sim_;
+  net::Network* net_;
+  MachineTable table_;
+  NodeId egress_node_{};
+  std::vector<VmEntry> vms_;
+  std::map<std::uint32_t, std::uint32_t> addr_to_vm_;  // addr node -> vm idx
+  std::map<std::uint32_t, net::MulticastGroup*> groups_;  // by group id
+  std::uint32_t next_group_id_{1};
+  std::size_t materialized_vms_{0};
+  bool started_{false};
+};
+
+}  // namespace stopwatch::topology

@@ -1,0 +1,104 @@
+#include "topology/machine_table.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace stopwatch::topology {
+
+namespace {
+
+/// Stream tags keeping per-machine derivations independent of each other
+/// and of every other consumer of the experiment seed.
+constexpr std::uint64_t kMachineRngTag = 0x51AB1E5ULL;
+constexpr std::uint64_t kClockOffsetTag = 0xC10C0FF5ULL;
+
+}  // namespace
+
+MachineTable::MachineTable(sim::Simulator& sim, net::Network& net,
+                           MachineTableConfig cfg, FrameHandler on_frame)
+    : sim_(&sim), net_(&net), cfg_(cfg), on_frame_(std::move(on_frame)) {
+  SW_EXPECTS_MSG(cfg_.machine_count >= 1,
+                 "MachineTableConfig.machine_count must be >= 1 (got " +
+                     std::to_string(cfg_.machine_count) + ")");
+  SW_EXPECTS_MSG(cfg_.shard_size >= 1,
+                 "MachineTableConfig.shard_size must be >= 1 (got " +
+                     std::to_string(cfg_.shard_size) + ")");
+  SW_EXPECTS(on_frame_ != nullptr);
+  const int shards =
+      (cfg_.machine_count + cfg_.shard_size - 1) / cfg_.shard_size;
+  shards_.resize(static_cast<std::size_t>(shards));
+}
+
+int MachineTable::shard_of(int machine) const {
+  SW_EXPECTS(machine >= 0 && machine < cfg_.machine_count);
+  return machine / cfg_.shard_size;
+}
+
+int MachineTable::machines_in_shard(int shard) const {
+  const int begin = shard * cfg_.shard_size;
+  const int end = std::min(begin + cfg_.shard_size, cfg_.machine_count);
+  return end - begin;
+}
+
+Duration MachineTable::clock_offset(int i) const {
+  SW_EXPECTS(i >= 0 && i < cfg_.machine_count);
+  if (cfg_.clock_offset_spread.ns <= 0) return Duration{};
+  const std::uint64_t tag = kClockOffsetTag + static_cast<std::uint64_t>(i);
+  Rng rng(SplitMix64(cfg_.seed ^ tag).next());
+  return Duration{rng.uniform_int(0, cfg_.clock_offset_spread.ns - 1)};
+}
+
+void MachineTable::materialize_shard(int shard) {
+  Shard& s = shards_[static_cast<std::size_t>(shard)];
+  SW_ASSERT(!s.materialized);
+  const int begin = shard * cfg_.shard_size;
+  const int count = machines_in_shard(shard);
+  s.slots.resize(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    const int idx = begin + k;
+    hypervisor::MachineConfig mc = cfg_.machine_template;
+    mc.clock_offset = clock_offset(idx);
+    const std::uint64_t tag =
+        kMachineRngTag + static_cast<std::uint64_t>(idx);
+    const std::uint64_t rng_seed = SplitMix64(cfg_.seed ^ tag).next();
+    Slot& sl = s.slots[static_cast<std::size_t>(k)];
+    sl.machine = std::make_unique<hypervisor::Machine>(
+        MachineId{static_cast<std::uint32_t>(idx)}, *sim_, mc, Rng(rng_seed));
+    sl.node = net_->add_node(
+        "machine-" + std::to_string(idx),
+        [this, idx](const net::Frame& f) { on_frame_(idx, f); });
+  }
+  s.materialized = true;
+  ++materialized_shards_;
+  materialized_machines_ += count;
+}
+
+MachineTable::Slot& MachineTable::slot(int machine) {
+  const int shard = shard_of(machine);
+  Shard& s = shards_[static_cast<std::size_t>(shard)];
+  if (!s.materialized) materialize_shard(shard);
+  return s.slots[static_cast<std::size_t>(machine % cfg_.shard_size)];
+}
+
+hypervisor::Machine& MachineTable::machine(int i) { return *slot(i).machine; }
+
+NodeId MachineTable::machine_node(int i) { return slot(i).node; }
+
+void MachineTable::materialize_all() {
+  for (int s = 0; s < shard_count(); ++s) {
+    if (!shards_[static_cast<std::size_t>(s)].materialized) {
+      materialize_shard(s);
+    }
+  }
+}
+
+bool MachineTable::machine_materialized(int i) const {
+  SW_EXPECTS(i >= 0 && i < cfg_.machine_count);
+  return shards_[static_cast<std::size_t>(i / cfg_.shard_size)].materialized;
+}
+
+}  // namespace stopwatch::topology

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "workload/timing.hpp"
@@ -267,6 +268,58 @@ TEST(Cloud, ReplicaPlacementOnSameMachineRejected) {
                    "bad", [] { return std::make_unique<EchoProgram>(); },
                    {0, 0, 1}),
                ContractViolation);
+}
+
+/// Expects Cloud(cfg) to throw a ContractViolation whose message mentions
+/// `needle` — misconfiguration must explain itself at the boundary instead
+/// of failing deep inside wiring.
+void expect_config_rejected(const CloudConfig& cfg, const std::string& needle) {
+  try {
+    Cloud cloud(cfg);
+    FAIL() << "expected ContractViolation mentioning '" << needle << "'";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Cloud, ConfigValidatedUpFrontWithClearMessages) {
+  CloudConfig cfg = stopwatch_config();
+  cfg.machine_count = 0;
+  expect_config_rejected(cfg, "machine_count must be >= 1");
+
+  cfg = stopwatch_config();
+  cfg.replica_count = 0;
+  expect_config_rejected(cfg, "replica_count must be >= 1");
+
+  cfg = stopwatch_config();
+  cfg.replica_count = -3;
+  expect_config_rejected(cfg, "replica_count must be >= 1");
+
+  cfg = stopwatch_config();
+  cfg.replica_count = 4;
+  expect_config_rejected(cfg, "must be odd");
+
+  cfg = stopwatch_config();
+  cfg.replica_count = 5;  // > machine_count = 3
+  expect_config_rejected(cfg, "cannot exceed machine_count");
+
+  cfg = stopwatch_config();
+  cfg.shard_size = 0;
+  expect_config_rejected(cfg, "shard_size must be >= 1");
+
+  cfg = stopwatch_config();
+  cfg.clock_offset_spread = Duration::millis(-1);
+  expect_config_rejected(cfg, "clock_offset_spread");
+
+  // Baseline runs single replicas, so replica_count > machine_count is
+  // fine there (the knob is documented as ignored).
+  CloudConfig baseline = stopwatch_config();
+  baseline.policy = Policy::kBaselineXen;
+  baseline.machine_count = 1;
+  baseline.replica_count = 3;
+  Cloud ok(baseline);
+  EXPECT_EQ(ok.machine_count(), 1);
 }
 
 TEST(Cloud, FiveReplicaCloudWorks) {

@@ -66,7 +66,7 @@ TEST(Determinism, DifferentSeedsChangeSeedSensitiveMetrics) {
 TEST(Determinism, ParameterOverridesAreStampedIntoJson) {
   const auto& registry = ScenarioRegistry::instance();
   const Result r = registry.run("fig2_protocol_trace", /*seed=*/5,
-                                /*smoke=*/true, {{"run_time_s", 0.25}});
+                                /*smoke=*/true, {{"run_time_s", "0.25"}});
   const std::string json = r.to_json();
   EXPECT_NE(json.find("\"run_time_s\": 0.25"), std::string::npos);
   EXPECT_NE(json.find("\"seed\": 5"), std::string::npos);

@@ -118,7 +118,7 @@ TEST(ParallelRunner, OverridesApplyOnlyToDeclaringScenarios) {
       ScenarioRegistry::instance().find("placement_utilization")};
   ASSERT_NE(selected[0], nullptr);
   ASSERT_NE(selected[1], nullptr);
-  const std::map<std::string, double> overrides = {{"run_time_s", 0.25}};
+  const ParamOverrides overrides = {{"run_time_s", "0.25"}};
   const auto outcomes =
       run_scenarios(selected, overrides, /*seed=*/5, /*smoke=*/true,
                     /*jobs=*/2);

@@ -41,11 +41,51 @@ TEST(ScenarioContext, ResolvesDefaultsSmokeAndOverrides) {
   EXPECT_EQ(smoke.param("a"), 2.0);
   EXPECT_EQ(smoke.param("b"), 5.0);  // smoke value defaults to default_value
 
-  const ScenarioContext overridden(1, /*smoke=*/true, {{"a", 7.0}}, schema);
+  const ScenarioContext overridden(1, /*smoke=*/true, {{"a", "7"}}, schema);
   EXPECT_EQ(overridden.param("a"), 7.0);
 
   EXPECT_THROW(static_cast<void>(full.param("missing")), ContractViolation);
-  EXPECT_THROW(ScenarioContext(1, false, {{"unknown", 1.0}}, schema),
+  EXPECT_THROW(ScenarioContext(1, false, {{"unknown", "1"}}, schema),
+               ContractViolation);
+  // A numeric knob rejects non-numeric override text at the boundary.
+  EXPECT_THROW(ScenarioContext(1, false, {{"a", "fast"}}, schema),
+               ContractViolation);
+}
+
+TEST(ScenarioContext, ResolvesEnumParameters) {
+  const std::vector<ParamSpec> schema = {
+      ParamSpec::enumeration("mode", "aggregation rule", "median",
+                             {"median", "min", "max"}),
+      ParamSpec{"n", "", 4.0, 2.0}.with_int_range(1, 8),
+  };
+  const ScenarioContext defaulted(1, /*smoke=*/false, {}, schema);
+  EXPECT_EQ(defaulted.param_choice("mode"), "median");
+  EXPECT_EQ(defaulted.param_int("n"), 4);
+
+  const ScenarioContext overridden(1, false, {{"mode", "max"}}, schema);
+  EXPECT_EQ(overridden.param_choice("mode"), "max");
+  // Stamped into the Result params as a JSON string, numerics as numbers.
+  const auto resolved = overridden.resolved();
+  ASSERT_EQ(resolved.size(), 2u);
+  EXPECT_EQ(resolved[0].first, "mode");
+  EXPECT_EQ(resolved[0].second, "\"max\"");
+  EXPECT_EQ(resolved[1].second, "4");
+
+  // Unknown choices are rejected up front, with the valid set named.
+  try {
+    ScenarioContext(1, false, {{"mode", "mean"}}, schema);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("median|min|max"), std::string::npos)
+        << e.what();
+  }
+  // Kind mismatches fail the contract instead of returning garbage.
+  EXPECT_THROW(static_cast<void>(defaulted.param("mode")), ContractViolation);
+  EXPECT_THROW(static_cast<void>(defaulted.param_choice("n")),
+               ContractViolation);
+  // The enum factory rejects a default outside the choice list.
+  EXPECT_THROW(static_cast<void>(ParamSpec::enumeration("bad", "", "none",
+                                                        {"a", "b"})),
                ContractViolation);
 }
 
@@ -53,17 +93,17 @@ TEST(ScenarioContext, RejectsOutOfRangeOverrides) {
   const std::vector<ParamSpec> schema = {
       ParamSpec{"count", "", 5.0, 2.0}.with_range(1, 5),
   };
-  EXPECT_EQ(ScenarioContext(1, false, {{"count", 1.0}}, schema).param("count"),
+  EXPECT_EQ(ScenarioContext(1, false, {{"count", "1"}}, schema).param("count"),
             1.0);
-  EXPECT_EQ(ScenarioContext(1, false, {{"count", 5.0}}, schema).param("count"),
+  EXPECT_EQ(ScenarioContext(1, false, {{"count", "5"}}, schema).param("count"),
             5.0);
   // A count knob without bounds would index an empty or out-of-bounds
   // vector inside the scenario; the context must reject it up front.
-  EXPECT_THROW(ScenarioContext(1, false, {{"count", 0.0}}, schema),
+  EXPECT_THROW(ScenarioContext(1, false, {{"count", "0"}}, schema),
                ContractViolation);
-  EXPECT_THROW(ScenarioContext(1, false, {{"count", -1.0}}, schema),
+  EXPECT_THROW(ScenarioContext(1, false, {{"count", "-1"}}, schema),
                ContractViolation);
-  EXPECT_THROW(ScenarioContext(1, false, {{"count", 6.0}}, schema),
+  EXPECT_THROW(ScenarioContext(1, false, {{"count", "6"}}, schema),
                ContractViolation);
   // with_range itself rejects a schema whose defaults violate the range.
   EXPECT_THROW(static_cast<void>(ParamSpec{"bad", "", 9.0}.with_range(1, 5)),
@@ -74,10 +114,10 @@ TEST(ScenarioContext, RejectsFractionalOverridesOfIntegralParams) {
   const std::vector<ParamSpec> schema = {
       ParamSpec{"n", "", 4.0, 2.0}.with_int_range(1, 8),
   };
-  EXPECT_EQ(ScenarioContext(1, false, {{"n", 3.0}}, schema).param_int("n"), 3);
+  EXPECT_EQ(ScenarioContext(1, false, {{"n", "3"}}, schema).param_int("n"), 3);
   // Integral knobs feed param_int; a fractional override would fail deep
   // inside the scenario instead of at the boundary.
-  EXPECT_THROW(ScenarioContext(1, false, {{"n", 2.5}}, schema),
+  EXPECT_THROW(ScenarioContext(1, false, {{"n", "2.5"}}, schema),
                ContractViolation);
   EXPECT_THROW(
       static_cast<void>(ParamSpec{"bad", "", 1.5}.with_int_range(1, 5)),
@@ -130,7 +170,22 @@ TEST(RunnerCli, ParsesScenarioSeedAndParams) {
   EXPECT_EQ(options.seed, 9u);
   ASSERT_EQ(options.param_overrides.size(), 1u);
   EXPECT_EQ(options.param_overrides[0].first, "run_time_s");
-  EXPECT_EQ(options.param_overrides[0].second, 2.5);
+  EXPECT_EQ(options.param_overrides[0].second, "2.5");
+}
+
+TEST(RunnerCli, ParsesEnumParamValues) {
+  const char* argv[] = {"stopwatch_bench", "--scenario",
+                        "ablation_aggregation", "--param",
+                        "aggregation=median"};
+  RunnerOptions options;
+  std::string error;
+  ASSERT_TRUE(parse_runner_options(5, argv, options, error)) << error;
+  ASSERT_EQ(options.param_overrides.size(), 1u);
+  EXPECT_EQ(options.param_overrides[0].first, "aggregation");
+  EXPECT_EQ(options.param_overrides[0].second, "median");
+  // An empty value is malformed, like a missing '='.
+  const char* empty_value[] = {"stopwatch_bench", "--param", "aggregation="};
+  EXPECT_FALSE(parse_runner_options(3, empty_value, options, error));
 }
 
 TEST(RunnerCli, ParsesJobs) {

@@ -137,5 +137,53 @@ TEST(Network, UnknownNodeRejected) {
   EXPECT_THROW(fx.net.send(f), ContractViolation);
 }
 
+TEST(Network, NodeLinkAppliesToAllTrafficOfANode) {
+  // One set_node_link entry must model a slow client against every peer —
+  // the O(1) alternative to per-pair links against each of Θ(n²) VMs.
+  Fixture fx;
+  RealTime to_client{}, to_peer{}, from_client{};
+  const NodeId client = fx.net.add_node(
+      "client", [&](const Frame&) { to_client = fx.sim.now(); });
+  const NodeId a =
+      fx.net.add_node("a", [&](const Frame&) { from_client = fx.sim.now(); });
+  const NodeId b =
+      fx.net.add_node("b", [&](const Frame&) { to_peer = fx.sim.now(); });
+  LinkModel fast;
+  fast.base_latency = Duration::micros(10);
+  fast.jitter_sigma = 0.0;
+  fast.bytes_per_second = 1e12;
+  fx.net.set_default_link(fast);
+  LinkModel slow = fast;
+  slow.base_latency = Duration::millis(20);
+  fx.net.set_node_link(client, slow);
+
+  fx.net.send(guest_frame(a, client, 10));  // dst-node link applies
+  fx.net.send(guest_frame(client, a, 10));  // src-node link applies
+  fx.net.send(guest_frame(a, b, 10));       // untouched pair stays fast
+  fx.sim.run();
+  EXPECT_GE(to_client.ns, Duration::millis(20).ns);
+  EXPECT_GE(from_client.ns, Duration::millis(20).ns);
+  EXPECT_LT(to_peer.ns, Duration::millis(1).ns);
+}
+
+TEST(Network, PairLinkOverridesNodeLink) {
+  Fixture fx;
+  RealTime arrival{};
+  const NodeId client =
+      fx.net.add_node("client", [&](const Frame&) { arrival = fx.sim.now(); });
+  const NodeId a = fx.net.add_node("a", [](const Frame&) {});
+  LinkModel fast;
+  fast.base_latency = Duration::micros(10);
+  fast.jitter_sigma = 0.0;
+  fast.bytes_per_second = 1e12;
+  LinkModel slow = fast;
+  slow.base_latency = Duration::millis(20);
+  fx.net.set_node_link(client, slow);
+  fx.net.set_link(a, client, fast);  // explicit pair wins
+  fx.net.send(guest_frame(a, client, 10));
+  fx.sim.run();
+  EXPECT_LT(arrival.ns, Duration::millis(1).ns);
+}
+
 }  // namespace
 }  // namespace stopwatch::net
