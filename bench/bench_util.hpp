@@ -7,8 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "core/cloud.hpp"
+#include "experiment/scenario.hpp"
 #include "hypervisor/guest_context.hpp"
+#include "leakage/estimators.hpp"
 #include "stats/detection.hpp"
 #include "stats/ecdf.hpp"
 #include "stats/summary.hpp"
@@ -151,16 +154,45 @@ inline TimingScenarioResult run_timing_scenario(
   return result;
 }
 
+/// The enum knob every detection-driven and leakage scenario exposes as
+/// --param binning=...: "adaptive" (the default: equiprobable cells,
+/// resolution concentrating where the mass is — the sub-millisecond burst
+/// cluster, which is where host contention shows), "fixed" (equal-width
+/// cells, the paper's layout), and "sturges" (equal-width with
+/// ceil(log2 n) + 1 cells from the sample size). One declaration site so
+/// the choice list cannot drift between scenarios.
+inline experiment::ParamSpec binning_param() {
+  return experiment::ParamSpec::enumeration(
+      "binning", "observation cell layout", "adaptive",
+      {"fixed", "adaptive", "sturges"});
+}
+
 /// Observations needed to distinguish two measured series, per confidence.
+/// `binning` is a binning_param() choice, dispatched through the leakage
+/// subsystem's mapping (one source of truth for the knob): fixed ->
+/// 40 equal-width cells, adaptive -> 40 equiprobable-under-null cells,
+/// sturges -> ceil(log2 n) + 1 equal-width cells from the *null* sample
+/// size (the detector's reference distribution).
 inline stats::ChiSquaredDetector make_detector(
     const std::vector<double>& null_samples,
-    const std::vector<double>& victim_samples) {
-  // Equiprobable-under-null cells: resolution concentrates where the mass
-  // is (the sub-millisecond burst cluster), which is where host contention
-  // shows.
-  return stats::ChiSquaredDetector::from_samples(
-      stats::Ecdf(null_samples), stats::Ecdf(victim_samples), 40,
-      stats::Binning::kEquiprobable);
+    const std::vector<double>& victim_samples,
+    const std::string& binning = "adaptive") {
+  const stats::Ecdf null_ecdf(null_samples);
+  const stats::Ecdf victim_ecdf(victim_samples);
+  switch (leakage::binning_mode_from_choice(binning)) {
+    case leakage::BinningMode::kFixed:
+      return stats::ChiSquaredDetector::from_samples(
+          null_ecdf, victim_ecdf, 40, stats::Binning::kEqualWidth);
+    case leakage::BinningMode::kSturges:
+      return stats::ChiSquaredDetector::from_samples(
+          null_ecdf, victim_ecdf,
+          leakage::sturges_bin_count(null_ecdf.size()),
+          stats::Binning::kEqualWidth);
+    case leakage::BinningMode::kAdaptive:
+      break;
+  }
+  return stats::ChiSquaredDetector::from_samples(null_ecdf, victim_ecdf, 40,
+                                                 stats::Binning::kEquiprobable);
 }
 
 }  // namespace stopwatch::bench

@@ -39,7 +39,8 @@ Outcome evaluate(hypervisor::AggregationRule rule, const ScenarioContext& ctx) {
   const auto r_clean = run_timing_scenario(clean);
   const auto r_vic = run_timing_scenario(vic);
   Outcome out;
-  out.obs99 = make_detector(r_clean.inter_arrival_ms, r_vic.inter_arrival_ms)
+  out.obs99 = make_detector(r_clean.inter_arrival_ms, r_vic.inter_arrival_ms,
+                            ctx.param_choice("binning"))
                   .observations_needed(0.99);
   out.mean_wait_ms = r_clean.median_margin_ms.empty()
                          ? 0.0
@@ -99,7 +100,8 @@ Result run(const ScenarioContext& ctx) {
                ParamSpec::enumeration(
                    "aggregation",
                    "delivery-time aggregation rule to evaluate", "all",
-                   {"all", "median", "min", "max", "leader"})},
+                   {"all", "median", "min", "max", "leader"}),
+               binning_param()},
     .deterministic = true,
     .run = run,
 }};

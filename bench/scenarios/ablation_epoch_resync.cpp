@@ -50,7 +50,8 @@ Outcome evaluate(bool resync, std::uint64_t epoch_instr,
   const auto r_vic = run_timing_scenario(vic);
   Outcome out;
   out.drift_s = r_clean.clock_drift_s;
-  out.obs99 = make_detector(r_clean.inter_arrival_ms, r_vic.inter_arrival_ms)
+  out.obs99 = make_detector(r_clean.inter_arrival_ms, r_vic.inter_arrival_ms,
+                            ctx.param_choice("binning"))
                   .observations_needed(0.99);
   out.clean_divergences = r_clean.divergences;
   out.victim_divergences = r_vic.divergences;
@@ -106,7 +107,8 @@ Result run(const ScenarioContext& ctx) {
         "Ablation: epoch-based virtual-clock resynchronization (drift vs "
         "leak risk vs missed epoch reports), machines running 6% fast",
     .params = {ParamSpec{"run_time_s", "simulated seconds per run", 30.0,
-                         5.0}.with_range(0.01, 3600)},
+                         5.0}.with_range(0.01, 3600),
+               binning_param()},
     .deterministic = true,
     .run = run,
 }};

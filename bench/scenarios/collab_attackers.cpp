@@ -5,6 +5,7 @@
 // median — the surviving proposals then reflect the victim-coresident
 // replica. The paper's countermeasure: more replicas (3 -> 5) force the
 // attacker to marginalize several machines at once.
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -17,14 +18,16 @@ using experiment::ParamSpec;
 using experiment::Result;
 using experiment::ScenarioContext;
 
-long detect_at_99(const TimingScenarioConfig& base) {
+long detect_at_99(const TimingScenarioConfig& base,
+                  const std::string& binning) {
   TimingScenarioConfig clean = base;
   clean.victim_present = false;
   TimingScenarioConfig vic = base;
   vic.victim_present = true;
   const auto r_clean = run_timing_scenario(clean);
   const auto r_vic = run_timing_scenario(vic);
-  return make_detector(r_clean.inter_arrival_ms, r_vic.inter_arrival_ms)
+  return make_detector(r_clean.inter_arrival_ms, r_vic.inter_arrival_ms,
+                       binning)
       .observations_needed(0.99);
 }
 
@@ -52,7 +55,8 @@ Result run(const ScenarioContext& ctx) {
     tc.marginalize_load = ctx.param("marginalize_load");
     replicas.push_back(row.replicas);
     marginalized.push_back(row.marginalized);
-    obs99.push_back(static_cast<double>(detect_at_99(tc)));
+    obs99.push_back(
+        static_cast<double>(detect_at_99(tc, ctx.param_choice("binning"))));
   }
   result.add_series("replicas", "VMs", replicas);
   result.add_series("marginalized_hosts", "machines", marginalized);
@@ -75,7 +79,8 @@ Result run(const ScenarioContext& ctx) {
                          5.0}.with_range(0.01, 3600),
                ParamSpec{"marginalize_load",
                          "induced load on marginalized hosts", 2.0}
-                   .with_range(0, 100)},
+                   .with_range(0, 100),
+               binning_param()},
     .deterministic = true,
     .run = run,
 }};

@@ -80,10 +80,11 @@ Result run(const ScenarioContext& ctx) {
 
   // Fig. 4(b): observations needed across the paper's confidence grid,
   // with and without StopWatch (same series layout as fig1b/fig1c).
-  const auto det_sw =
-      make_detector(r_sw_clean.inter_arrival_ms, r_sw_victim.inter_arrival_ms);
-  const auto det_bx =
-      make_detector(r_bx_clean.inter_arrival_ms, r_bx_victim.inter_arrival_ms);
+  const std::string& binning = ctx.param_choice("binning");
+  const auto det_sw = make_detector(r_sw_clean.inter_arrival_ms,
+                                    r_sw_victim.inter_arrival_ms, binning);
+  const auto det_bx = make_detector(r_bx_clean.inter_arrival_ms,
+                                    r_bx_victim.inter_arrival_ms, binning);
   std::vector<double> confidences;
   std::vector<double> obs_sw;
   std::vector<double> obs_bx;
@@ -119,7 +120,8 @@ Result run(const ScenarioContext& ctx) {
                    .with_range(0.01, 3600),
                ParamSpec{"broadcast_rate_hz",
                          "background broadcast packet rate", 80.0}
-                   .with_range(0.1, 10000)},
+                   .with_range(0.1, 10000),
+               binning_param()},
     .deterministic = true,
     .run = run,
 }};

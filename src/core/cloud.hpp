@@ -31,6 +31,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -114,6 +115,16 @@ class Cloud {
 
   /// Forces materialization of a lazily wired VM (idempotent).
   void materialize(VmHandle vm) { topo_->materialize(vm.index); }
+
+  /// Installs (or clears) the egress release observer — the hook the
+  /// leakage subsystem's TimingTap uses to record attacker-visible egress
+  /// timings (see src/leakage/timing_tap.hpp).
+  void set_egress_tap(topology::TopologyBuilder::EgressTap tap) {
+    topo_->set_egress_tap(std::move(tap));
+  }
+  [[nodiscard]] bool has_egress_tap() const {
+    return topo_->has_egress_tap();
+  }
 
   // --- Introspection ---
 

@@ -1,0 +1,210 @@
+#include "leakage/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace stopwatch::leakage {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+/// x log2 x with the measure-theoretic 0 log 0 = 0 convention.
+double xlog2x(double x) { return x > 0.0 ? x * std::log2(x) : 0.0; }
+
+}  // namespace
+
+BinningMode binning_mode_from_choice(const std::string& choice) {
+  if (choice == "fixed") return BinningMode::kFixed;
+  if (choice == "adaptive") return BinningMode::kAdaptive;
+  SW_EXPECTS_MSG(choice == "sturges",
+                 "unknown binning mode '" + choice +
+                     "' (expected fixed|adaptive|sturges)");
+  return BinningMode::kSturges;
+}
+
+int sturges_bin_count(std::size_t n) {
+  SW_EXPECTS(n >= 1);
+  int bins = 1;
+  std::size_t span = 1;
+  while (span < n) {
+    span *= 2;
+    ++bins;
+  }
+  return std::max(2, bins);
+}
+
+std::vector<double> make_bin_edges(std::vector<double> samples,
+                                   BinningMode mode, int bin_count) {
+  SW_EXPECTS(samples.size() >= 2);
+  std::sort(samples.begin(), samples.end());
+  const double lo = samples.front();
+  const double hi = samples.back();
+  SW_EXPECTS_MSG(lo < hi,
+                 "bin edges need at least two distinct observation values");
+  const int bins = mode == BinningMode::kSturges
+                       ? sturges_bin_count(samples.size())
+                       : bin_count;
+  SW_EXPECTS(bins >= 2);
+  // Pad the span so boundary samples bin unambiguously.
+  const double pad = (hi - lo) * 1e-9 + 1e-12;
+
+  std::vector<double> edges;
+  edges.reserve(static_cast<std::size_t>(bins) + 1);
+  edges.push_back(lo - pad);
+  for (int i = 1; i < bins; ++i) {
+    if (mode == BinningMode::kAdaptive) {
+      // Interior edges at pooled-sample quantiles i/bins (nearest rank).
+      const auto rank = static_cast<std::size_t>(
+          static_cast<double>(samples.size()) * i / bins);
+      edges.push_back(samples[std::min(rank, samples.size() - 1)]);
+    } else {
+      edges.push_back(lo - pad + (hi + pad - (lo - pad)) * i / bins);
+    }
+  }
+  edges.push_back(hi + pad);
+  // Equal pooled quantiles collapse edges (heavy ties); keep the layout
+  // strictly increasing by nudging, preserving the cell count.
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    if (edges[i] <= edges[i - 1]) {
+      edges[i] = std::nextafter(edges[i - 1],
+                                std::numeric_limits<double>::infinity());
+    }
+  }
+  return edges;
+}
+
+int bin_index(const std::vector<double>& edges, double x) {
+  SW_EXPECTS(edges.size() >= 3);
+  const int bins = static_cast<int>(edges.size()) - 1;
+  if (x < edges.front()) return 0;
+  if (x >= edges.back()) return bins - 1;
+  // First edge strictly greater than x bounds the cell on the right.
+  const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+  const int idx = static_cast<int>(it - edges.begin()) - 1;
+  return std::clamp(idx, 0, bins - 1);
+}
+
+JointDistribution joint_from_log(const ObservationLog& log,
+                                 const std::vector<double>& edges) {
+  const std::vector<int> classes = log.classes();
+  SW_EXPECTS_MSG(classes.size() >= 2,
+                 "mutual information needs at least two secret classes");
+  const int cells = static_cast<int>(edges.size()) - 1;
+
+  JointDistribution joint;
+  joint.class_labels = classes;
+  joint.p.assign(classes.size(),
+                 std::vector<double>(static_cast<std::size_t>(cells), 0.0));
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const std::vector<double>& samples = log.samples(classes[i]);
+    SW_EXPECTS_MSG(!samples.empty(),
+                   "secret class " + std::to_string(classes[i]) +
+                       " has no retained observations");
+    for (const double v : samples) {
+      joint.p[i][static_cast<std::size_t>(bin_index(edges, v))] += 1.0;
+    }
+    joint.sample_count += samples.size();
+  }
+  const auto n = static_cast<double>(joint.sample_count);
+  for (auto& row : joint.p) {
+    for (double& cell : row) cell /= n;
+  }
+  return joint;
+}
+
+double entropy_bits(const std::vector<double>& p) {
+  double h = 0.0;
+  for (const double x : p) {
+    SW_EXPECTS(x >= 0.0);
+    h -= xlog2x(x);
+  }
+  return h;
+}
+
+double mutual_information_plugin(const JointDistribution& joint) {
+  SW_EXPECTS(joint.classes() >= 2 && joint.cells() >= 1);
+  std::vector<double> row_marginal(static_cast<std::size_t>(joint.classes()),
+                                   0.0);
+  std::vector<double> col_marginal(static_cast<std::size_t>(joint.cells()),
+                                   0.0);
+  for (std::size_t i = 0; i < joint.p.size(); ++i) {
+    for (std::size_t j = 0; j < joint.p[i].size(); ++j) {
+      row_marginal[i] += joint.p[i][j];
+      col_marginal[j] += joint.p[i][j];
+    }
+  }
+  // I = H(C) + H(T) - H(C,T).
+  double joint_entropy = 0.0;
+  for (const auto& row : joint.p) {
+    for (const double cell : row) joint_entropy -= xlog2x(cell);
+  }
+  const double mi =
+      entropy_bits(row_marginal) + entropy_bits(col_marginal) - joint_entropy;
+  return std::max(0.0, mi);
+}
+
+double mutual_information_miller_madow(const JointDistribution& joint) {
+  SW_EXPECTS(joint.sample_count > 0);
+  int occupied_rows = 0;
+  int occupied_cols = 0;
+  int occupied_cells = 0;
+  std::vector<bool> col_seen(static_cast<std::size_t>(joint.cells()), false);
+  for (const auto& row : joint.p) {
+    bool row_seen = false;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (row[j] > 0.0) {
+        ++occupied_cells;
+        row_seen = true;
+        col_seen[j] = true;
+      }
+    }
+    if (row_seen) ++occupied_rows;
+  }
+  for (const bool seen : col_seen) {
+    if (seen) ++occupied_cols;
+  }
+  // MM entropy correction is +(m-1)/(2N) nats per entropy term; through
+  // I = H(C) + H(T) - H(C,T) the net MI correction is
+  // (m_C + m_T - m_CT - 1) / (2N), converted to bits.
+  const double correction =
+      static_cast<double>(occupied_rows + occupied_cols - occupied_cells - 1) /
+      (2.0 * static_cast<double>(joint.sample_count) * kLn2);
+  // The correction can push a near-deterministic channel past the
+  // information-theoretic ceiling min(H(C), H(T)); clamp to it.
+  std::vector<double> row_marginal(static_cast<std::size_t>(joint.classes()),
+                                   0.0);
+  std::vector<double> col_marginal(static_cast<std::size_t>(joint.cells()),
+                                   0.0);
+  for (std::size_t i = 0; i < joint.p.size(); ++i) {
+    for (std::size_t j = 0; j < joint.p[i].size(); ++j) {
+      row_marginal[i] += joint.p[i][j];
+      col_marginal[j] += joint.p[i][j];
+    }
+  }
+  const double ceiling =
+      std::min(entropy_bits(row_marginal), entropy_bits(col_marginal));
+  return std::clamp(mutual_information_plugin(joint) + correction, 0.0,
+                    ceiling);
+}
+
+std::vector<std::vector<double>> channel_from_joint(
+    const JointDistribution& joint) {
+  std::vector<std::vector<double>> channel;
+  channel.reserve(joint.p.size());
+  for (const auto& row : joint.p) {
+    double mass = 0.0;
+    for (const double cell : row) mass += cell;
+    SW_EXPECTS_MSG(mass > 0.0,
+                   "channel row with zero class mass cannot be normalized");
+    std::vector<double> normalized(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) normalized[j] = row[j] / mass;
+    channel.push_back(std::move(normalized));
+  }
+  return channel;
+}
+
+}  // namespace stopwatch::leakage

@@ -1,0 +1,91 @@
+// Mutual-information estimation over labeled observation logs.
+//
+// The attacker's channel is (secret class C) -> (timing observation T). The
+// estimators here discretize T into cells and estimate I(C; T) from the
+// empirical joint distribution:
+//
+//   * binning — fixed-width cells over the sample range, adaptive
+//     (equiprobable over the pooled empirical distribution, concentrating
+//     resolution where the mass is), or Sturges' rule
+//     (ceil(log2 n) + 1 fixed-width cells, the classic histogram default);
+//   * plug-in MI — I(C;T) = H(C) + H(T) - H(C,T) over empirical
+//     frequencies, upward-biased by O(cells / N);
+//   * Miller–Madow correction — the first-order bias term
+//     (m_C + m_T - m_CT - 1) / (2 N ln 2) subtracted cell-occupancy-wise,
+//     the standard small-sample repair.
+//
+// The empirical conditional rows P(T-cell | C) feed the Blahut–Arimoto
+// channel-capacity solver (capacity.hpp), which converts "bits leaked under
+// this victim's input prior" into "bits leakable under the worst prior" —
+// the quantity StopWatch's replicated-median design is meant to bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "leakage/observation_log.hpp"
+
+namespace stopwatch::leakage {
+
+/// How observation values are discretized into histogram cells.
+enum class BinningMode {
+  kFixed,     ///< `bin_count` equal-width cells over [min, max]
+  kAdaptive,  ///< `bin_count` cells equiprobable under the pooled sample
+  kSturges,   ///< ceil(log2 n) + 1 equal-width cells (bin_count ignored)
+};
+
+/// Maps the scenario-facing enum choice "fixed|adaptive|sturges"; fails the
+/// contract on anything else (ParamSpec::enumeration validates upstream).
+[[nodiscard]] BinningMode binning_mode_from_choice(const std::string& choice);
+
+/// Sturges' bin-count rule for n samples: ceil(log2 n) + 1 (>= 2).
+[[nodiscard]] int sturges_bin_count(std::size_t n);
+
+/// Cell edges over `samples` (consumed: sorted in place). Returns
+/// `bins + 1` strictly increasing edges spanning the sample range, padded
+/// so every sample falls in a cell. Requires at least 2 distinct values.
+[[nodiscard]] std::vector<double> make_bin_edges(std::vector<double> samples,
+                                                 BinningMode mode,
+                                                 int bin_count);
+
+/// Cell index of `x` under `edges`; values outside the span clamp to the
+/// first/last cell (the tails belong to the outermost cells).
+[[nodiscard]] int bin_index(const std::vector<double>& edges, double x);
+
+/// Empirical joint distribution over (secret class, observation cell).
+struct JointDistribution {
+  /// p[i][j] = empirical P(class i, cell j); sums to 1.
+  std::vector<std::vector<double>> p;
+  /// Secret class label of each row (log classes, ascending).
+  std::vector<int> class_labels;
+  /// Retained observations behind the estimate (reservoir sizes summed).
+  std::uint64_t sample_count{0};
+
+  [[nodiscard]] int classes() const { return static_cast<int>(p.size()); }
+  [[nodiscard]] int cells() const {
+    return p.empty() ? 0 : static_cast<int>(p.front().size());
+  }
+};
+
+/// Bins every retained sample of the log. Requires >= 2 classes with at
+/// least one retained sample each.
+[[nodiscard]] JointDistribution joint_from_log(
+    const ObservationLog& log, const std::vector<double>& edges);
+
+/// Plug-in (maximum-likelihood) mutual information, in bits.
+[[nodiscard]] double mutual_information_plugin(const JointDistribution& joint);
+
+/// Miller–Madow bias-corrected mutual information, in bits (clamped at 0).
+[[nodiscard]] double mutual_information_miller_madow(
+    const JointDistribution& joint);
+
+/// Shannon entropy of a probability vector, in bits.
+[[nodiscard]] double entropy_bits(const std::vector<double>& p);
+
+/// Conditional rows P(cell | class) — the empirical channel matrix. Rows
+/// with zero class mass are rejected (joint_from_log never produces them).
+[[nodiscard]] std::vector<std::vector<double>> channel_from_joint(
+    const JointDistribution& joint);
+
+}  // namespace stopwatch::leakage

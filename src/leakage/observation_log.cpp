@@ -1,0 +1,100 @@
+#include "leakage/observation_log.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace stopwatch::leakage {
+
+ObservationLog::ObservationLog(ObservationLogConfig cfg)
+    : cfg_(cfg), rng_(SplitMix64(cfg.seed ^ 0x0b5e7a71ULL).next()) {}
+
+void ObservationLog::record(int secret_class, double value) {
+  SW_EXPECTS(secret_class >= 0);
+  ClassSlot& slot = classes_[secret_class];
+  ++slot.seen;
+  ++total_;
+  // Welford's online moments: exact regardless of reservoir evictions.
+  const double delta = value - slot.mean;
+  slot.mean += delta / static_cast<double>(slot.seen);
+  slot.m2 += delta * (value - slot.mean);
+
+  if (cfg_.reservoir_capacity == 0 ||
+      slot.reservoir.size() < cfg_.reservoir_capacity) {
+    slot.reservoir.push_back(value);
+    return;
+  }
+  // Algorithm R: the i-th record replaces a uniformly chosen slot with
+  // probability capacity/i, keeping the reservoir a uniform sample.
+  const auto j = static_cast<std::uint64_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(slot.seen) - 1));
+  if (j < cfg_.reservoir_capacity) {
+    slot.reservoir[static_cast<std::size_t>(j)] = value;
+  }
+}
+
+std::vector<int> ObservationLog::classes() const {
+  std::vector<int> out;
+  out.reserve(classes_.size());
+  for (const auto& [cls, slot] : classes_) out.push_back(cls);
+  return out;
+}
+
+std::uint64_t ObservationLog::count(int cls) const {
+  const auto it = classes_.find(cls);
+  return it == classes_.end() ? 0 : it->second.seen;
+}
+
+double ObservationLog::mean(int cls) const {
+  const auto it = classes_.find(cls);
+  SW_EXPECTS(it != classes_.end() && it->second.seen > 0);
+  return it->second.mean;
+}
+
+double ObservationLog::variance(int cls) const {
+  const auto it = classes_.find(cls);
+  SW_EXPECTS(it != classes_.end() && it->second.seen > 0);
+  return it->second.m2 / static_cast<double>(it->second.seen);
+}
+
+const std::vector<double>& ObservationLog::samples(int cls) const {
+  const auto it = classes_.find(cls);
+  SW_EXPECTS_MSG(it != classes_.end(),
+                 "ObservationLog has no samples for secret class " +
+                     std::to_string(cls));
+  return it->second.reservoir;
+}
+
+std::vector<double> ObservationLog::pooled_samples() const {
+  std::vector<double> out;
+  for (const auto& [cls, slot] : classes_) {
+    out.insert(out.end(), slot.reservoir.begin(), slot.reservoir.end());
+  }
+  return out;
+}
+
+std::string ObservationLog::serialize() const {
+  std::ostringstream out;
+  out << "observation-log/1 capacity=" << cfg_.reservoir_capacity
+      << " total=" << total_ << "\n";
+  char buf[32];
+  for (const auto& [cls, slot] : classes_) {
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      std::bit_cast<std::uint64_t>(slot.mean)));
+    out << "class " << cls << " seen=" << slot.seen << " mean=" << buf;
+    out << " samples=";
+    for (const double v : slot.reservoir) {
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(
+                        std::bit_cast<std::uint64_t>(v)));
+      out << buf << ",";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace stopwatch::leakage

@@ -1,0 +1,61 @@
+#include "leakage/timing_tap.hpp"
+
+#include "common/contracts.hpp"
+
+namespace stopwatch::leakage {
+
+TimingTap::TimingTap(core::Cloud& cloud, core::VmHandle vm, Mode mode,
+                     ObservationLog& log)
+    : cloud_(&cloud), vm_index_(vm.index), mode_(mode), log_(&log) {
+  // Exclusive by contract: silently replacing a live tap would leave the
+  // replaced tap recording nothing while its destructor later detaches
+  // *this* one. Destroy the previous tap first.
+  SW_EXPECTS_MSG(!cloud_->has_egress_tap(),
+                 "cloud already has an active TimingTap");
+  cloud_->set_egress_tap(
+      [this](std::uint32_t vm_idx, RealTime when, const net::Packet&) {
+        on_release(vm_idx, when);
+      });
+}
+
+TimingTap::~TimingTap() { cloud_->set_egress_tap(nullptr); }
+
+void TimingTap::set_secret_class(int secret_class) {
+  SW_EXPECTS(secret_class >= 0);
+  secret_class_ = secret_class;
+  have_last_release_ = false;
+}
+
+void TimingTap::begin_trial(int secret_class) {
+  SW_EXPECTS(mode_ == Mode::kTrialDuration);
+  SW_EXPECTS_MSG(!trial_open_, "end_trial() the previous trial first");
+  set_secret_class(secret_class);
+  trial_open_ = true;
+  trial_saw_release_ = false;
+  trial_mark_ = cloud_->simulator().now();
+}
+
+bool TimingTap::end_trial() {
+  SW_EXPECTS(mode_ == Mode::kTrialDuration);
+  SW_EXPECTS_MSG(trial_open_, "no trial is open");
+  trial_open_ = false;
+  if (!trial_saw_release_) return false;
+  log_->record(secret_class_, (last_release_ - trial_mark_).to_millis());
+  return true;
+}
+
+void TimingTap::on_release(std::uint32_t vm, RealTime when) {
+  if (vm != vm_index_) return;
+  ++releases_;
+  if (mode_ == Mode::kInterRelease) {
+    if (have_last_release_) {
+      log_->record(secret_class_, (when - last_release_).to_millis());
+    }
+  } else if (trial_open_) {
+    trial_saw_release_ = true;
+  }
+  have_last_release_ = true;
+  last_release_ = when;
+}
+
+}  // namespace stopwatch::leakage

@@ -1,0 +1,79 @@
+// TimingTap — turns egress packet releases into labeled observations.
+//
+// The tap subscribes to a Cloud's egress release hook (the moment a guest
+// output actually leaves the cloud: the median emission timing under
+// StopWatch, Sec. VI) and converts the releases of one watched VM into
+// ObservationLog entries labeled with the victim's current secret input
+// class. Two observation shapes cover the scenarios:
+//
+//  * kInterRelease — each release records the gap (ms) since the previous
+//    release of the watched VM. The attacker-as-observer view of a
+//    continuously emitting guest (the Fig. 4 channel, seen from egress).
+//  * kTrialDuration — the scenario brackets each secret-labeled request
+//    with begin_trial / end_trial; end_trial records the span (ms) from
+//    the trial mark to the last release observed inside it. The
+//    response-latency view of request/response and batch workloads.
+//
+// The tap is exclusive (Cloud holds one egress hook) and detaches in its
+// destructor, so scenarios can tap several clouds in sequence.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "core/cloud.hpp"
+#include "leakage/observation_log.hpp"
+
+namespace stopwatch::leakage {
+
+class TimingTap {
+ public:
+  enum class Mode {
+    kInterRelease,   ///< record gaps between consecutive releases
+    kTrialDuration,  ///< record mark -> last-release spans per trial
+  };
+
+  /// Watches egress releases of `vm` on `cloud`, recording into `log`
+  /// (not owned; must outlive the tap). Exclusive: constructing a second
+  /// tap on a cloud whose tap is still alive is a contract violation —
+  /// destroy the previous tap first (the destructor detaches).
+  TimingTap(core::Cloud& cloud, core::VmHandle vm, Mode mode,
+            ObservationLog& log);
+  ~TimingTap();
+
+  TimingTap(const TimingTap&) = delete;
+  TimingTap& operator=(const TimingTap&) = delete;
+
+  /// Labels subsequent observations with `secret_class` and resets the
+  /// inter-release reference so no gap spans a label change.
+  void set_secret_class(int secret_class);
+
+  /// kTrialDuration: opens a trial labeled `secret_class`, marking the
+  /// current simulated time as its start.
+  void begin_trial(int secret_class);
+
+  /// kTrialDuration: closes the open trial; records (class, span-to-last-
+  /// release) if any release happened inside it. Returns whether an
+  /// observation was recorded.
+  bool end_trial();
+
+  /// Egress releases of the watched VM seen since construction.
+  [[nodiscard]] std::uint64_t releases_seen() const { return releases_; }
+
+ private:
+  void on_release(std::uint32_t vm, RealTime when);
+
+  core::Cloud* cloud_;
+  std::uint32_t vm_index_;
+  Mode mode_;
+  ObservationLog* log_;
+  int secret_class_{0};
+  std::uint64_t releases_{0};
+  bool have_last_release_{false};
+  RealTime last_release_{};
+  bool trial_open_{false};
+  bool trial_saw_release_{false};
+  RealTime trial_mark_{};
+};
+
+}  // namespace stopwatch::leakage

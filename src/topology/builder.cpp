@@ -120,7 +120,18 @@ void TopologyBuilder::wire(std::uint32_t vm_index) {
     hypervisor::ReplicaServices services;
     services.machine_node = table_.machine_node(m);
     services.egress_node = egress_node_;
-    services.send_frame = [this](net::Frame f) { net_->send(std::move(f)); };
+    services.send_frame = [this, vm_index](net::Frame f) {
+      // Baseline guests emit output directly (no median gate), so the
+      // attacker-visible instant is this send; StopWatch outputs are
+      // tunneled and observed at their egress release instead.
+      if (egress_tap_) {
+        if (const auto* gp =
+                std::get_if<net::GuestPacketPayload>(&f.payload)) {
+          egress_tap_(vm_index, sim_->now(), gp->pkt);
+        }
+      }
+      net_->send(std::move(f));
+    };
     if (entry.control_group) {
       net::MulticastGroup* group = entry.control_group.get();
       const NodeId node = table_.machine_node(m);
@@ -357,6 +368,7 @@ void TopologyBuilder::on_egress_frame(const net::Frame& frame) {
   if (!slot.released && slot.copies >= release_at) {
     slot.released = true;
     ++entry.egress_stats.packets_released;
+    if (egress_tap_) egress_tap_(out->vm.value, sim_->now(), out->pkt);
     net::Frame f;
     f.src = egress_node_;
     f.dst = out->pkt.dst;

@@ -71,6 +71,11 @@ struct EgressStats {
 class TopologyBuilder {
  public:
   using ProgramFactory = std::function<std::unique_ptr<vm::GuestProgram>()>;
+  /// Observer of egress packet releases — the attacker-visible event. Fires
+  /// at the instant the egress forwards a guest output (the median emission
+  /// timing under StopWatch, the sole copy under baseline), for every VM.
+  using EgressTap =
+      std::function<void(std::uint32_t vm, RealTime when, const net::Packet&)>;
 
   TopologyBuilder(sim::Simulator& sim, net::Network& net, TopologyConfig cfg);
 
@@ -96,6 +101,14 @@ class TopologyBuilder {
   /// call materializes, replays are no-ops — the property the lazy ingress
   /// path relies on.
   void materialize(std::uint32_t vm);
+
+  /// Installs (or, with nullptr, removes) the egress release observer used
+  /// by the leakage subsystem's TimingTap. At most one tap is active; the
+  /// tap sees releases of every VM and filters by index itself.
+  void set_egress_tap(EgressTap tap) { egress_tap_ = std::move(tap); }
+  [[nodiscard]] bool has_egress_tap() const {
+    return static_cast<bool>(egress_tap_);
+  }
 
   // --- Introspection ---
 
@@ -158,6 +171,7 @@ class TopologyBuilder {
   void on_egress_frame(const net::Frame& frame);
 
   TopologyConfig cfg_;
+  EgressTap egress_tap_;
   sim::Simulator* sim_;
   net::Network* net_;
   MachineTable table_;

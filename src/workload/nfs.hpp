@@ -86,6 +86,11 @@ class NfsLoadGenerator {
   /// Connects all processes, then begins issuing after `warmup`.
   void start(Duration warmup = Duration::millis(50));
 
+  /// Stops issuing new operations (in-flight operations still complete).
+  /// Lets leakage windows run several single-op generators back to back
+  /// without their load bleeding across window boundaries.
+  void stop() { issuing_ = false; }
+
   [[nodiscard]] const std::vector<double>& latencies_ms() const {
     return latencies_ms_;
   }

@@ -146,6 +146,39 @@ TEST(DiffGate, UngatedMetricsNeverFailTheGate) {
   }
 }
 
+TEST(DiffGate, BitsMetricsAreReportedButNeverGated) {
+  // The leakage scenarios emit "bits" metrics; a leakage change must be
+  // *visible* in the delta table (behavior-change signal) without ever
+  // tripping the wall-clock regression gate — only ns-class units gate.
+  const BenchReport baseline = report_with(
+      {{"capacity_bits_r3", 0.04, "bits"}, {"lat", 100.0, "ns/op"}});
+  const DiffReport report =
+      diff_reports(baseline,
+                   report_with({{"capacity_bits_r3", 4.0, "bits"},
+                                {"lat", 100.0, "ns/op"}}),
+                   {.threshold = 0.10});
+  EXPECT_TRUE(report.passed());
+  EXPECT_EQ(report.regressions, 0u);
+  const MetricDelta* bits_delta = nullptr;
+  for (const MetricDelta& d : report.deltas) {
+    if (d.metric == "capacity_bits_r3") bits_delta = &d;
+  }
+  ASSERT_NE(bits_delta, nullptr);
+  EXPECT_FALSE(bits_delta->gated);
+  EXPECT_FALSE(bits_delta->regression);
+  // A 100x leakage increase shows up in both renderings...
+  EXPECT_NE(render_diff_table(report, {.threshold = 0.10})
+                .find("capacity_bits_r3"),
+            std::string::npos);
+  EXPECT_NE(render_diff_markdown(report, {.threshold = 0.10})
+                .find("capacity_bits_r3"),
+            std::string::npos);
+  // ...while an unchanged bits metric stays out of the table noise.
+  const DiffReport unchanged = diff_reports(baseline, baseline, {});
+  EXPECT_EQ(render_diff_table(unchanged, {}).find("capacity_bits_r3"),
+            std::string::npos);
+}
+
 TEST(DiffGate, NullMetricsCompareSanely) {
   const double nan = std::nan("");
   // null on both sides is "unchanged", not an eternal regression.

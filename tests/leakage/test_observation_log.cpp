@@ -1,0 +1,89 @@
+// ObservationLog: bounded memory (reservoir), exact streaming moments, and
+// deterministic serialization — the byte-identity property the TimingTap
+// tests and the --jobs runner rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "leakage/observation_log.hpp"
+
+namespace stopwatch::leakage {
+namespace {
+
+TEST(ObservationLog, StreamingMomentsAreExactUnderEviction) {
+  // Reservoir of 16 with 10'000 records: retained samples are a subset,
+  // but count/mean/variance must stay exact (Welford, not reservoir).
+  ObservationLog log(ObservationLogConfig{1, 16});
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = std::sin(i * 0.37) * 3.0 + i % 7;
+    log.record(0, v);
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_EQ(log.count(0), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(log.samples(0).size(), 16u);
+  const double mean = sum / n;
+  EXPECT_NEAR(log.mean(0), mean, 1e-9);
+  EXPECT_NEAR(log.variance(0), sum_sq / n - mean * mean, 1e-6);
+}
+
+TEST(ObservationLog, ReservoirIsUnboundedWhenCapacityZero) {
+  ObservationLog log(ObservationLogConfig{1, 0});
+  for (int i = 0; i < 5000; ++i) log.record(2, i);
+  EXPECT_EQ(log.samples(2).size(), 5000u);
+  EXPECT_EQ(log.classes(), std::vector<int>{2});
+}
+
+TEST(ObservationLog, ReservoirKeepsRepresentativeSample) {
+  // Record 0..9999; a uniform reservoir's retained mean should land near
+  // the stream mean, not near either end.
+  ObservationLog log(ObservationLogConfig{42, 256});
+  for (int i = 0; i < 10'000; ++i) log.record(0, i);
+  double retained_mean = 0.0;
+  for (const double v : log.samples(0)) retained_mean += v;
+  retained_mean /= static_cast<double>(log.samples(0).size());
+  EXPECT_NEAR(retained_mean, 4999.5, 800.0);
+}
+
+TEST(ObservationLog, SameSeedSameRecordsSerializeByteIdentically) {
+  const auto fill = [](ObservationLog& log) {
+    Rng rng(99);
+    for (int i = 0; i < 3000; ++i) {
+      log.record(i % 3, rng.exponential(1.0));
+    }
+  };
+  ObservationLog a(ObservationLogConfig{7, 64});
+  ObservationLog b(ObservationLogConfig{7, 64});
+  fill(a);
+  fill(b);
+  EXPECT_EQ(a.serialize(), b.serialize());
+  EXPECT_EQ(a.pooled_samples(), b.pooled_samples());
+
+  // A different log seed draws different reservoir evictions.
+  ObservationLog c(ObservationLogConfig{8, 64});
+  fill(c);
+  EXPECT_NE(a.serialize(), c.serialize());
+  // ...while the exact summaries still agree.
+  for (int cls = 0; cls < 3; ++cls) {
+    EXPECT_EQ(a.count(cls), c.count(cls));
+    EXPECT_NEAR(a.mean(cls), c.mean(cls), 1e-12);
+  }
+}
+
+TEST(ObservationLog, RejectsNegativeClassAndUnknownLookups) {
+  ObservationLog log;
+  EXPECT_THROW(log.record(-1, 0.5), ContractViolation);
+  log.record(0, 0.5);
+  EXPECT_EQ(log.count(5), 0u);
+  EXPECT_THROW(static_cast<void>(log.mean(5)), ContractViolation);
+  EXPECT_THROW(static_cast<void>(log.samples(5)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stopwatch::leakage
