@@ -59,6 +59,69 @@ Result run(const ScenarioContext& ctx) {
       }) / static_cast<double>(sim_events),
       "ns/event");
 
+  // Simulator: schedule + O(1) cancel (wheel unlink / lazy heap kill) per
+  // event, across the same spread of delays as the run benchmark.
+  result.add_metric(
+      "simulator_cancel",
+      time_ns_per_op(std::max<std::uint64_t>(1, iters / 1000), [&](auto) {
+        sim::Simulator sim;
+        for (std::uint64_t i = 0; i < sim_events; ++i) {
+          const auto id = sim.schedule_at(RealTime::nanos(i * 100), [] {});
+          sim.cancel(id);
+        }
+        g_sink = static_cast<double>(sim.pending());
+      }) / static_cast<double>(sim_events),
+      "ns/event");
+
+  // Simulator: a periodic timer re-arming its own arena slot — the vCPU
+  // slice / sync beacon / stall recheck pattern.
+  result.add_metric(
+      "simulator_reschedule",
+      time_ns_per_op(std::max<std::uint64_t>(1, iters / 1000), [&](auto) {
+        sim::Simulator sim;
+        std::uint64_t ticks = 0;
+        sim::EventId id{};
+        id = sim.schedule_after(Duration::nanos(200), [&] {
+          if (++ticks < sim_events) {
+            sim.reschedule_after(id, Duration::nanos(200));
+          }
+        });
+        sim.run();
+        g_sink = static_cast<double>(ticks);
+      }) / static_cast<double>(sim_events),
+      "ns/event");
+
+  // Simulator: mixed near/far horizons — 70% inside the wheel's level 0
+  // (sub-66 us), 20% across the higher levels (sub-275 ms), 10% beyond the
+  // horizon in the overflow heap — so the wheel-vs-heap crossover shows in
+  // the trajectory. Delays come from a fixed xorshift stream: identical
+  // work every run.
+  result.add_metric(
+      "simulator_mixed_horizon",
+      time_ns_per_op(std::max<std::uint64_t>(1, iters / 1000), [&](auto) {
+        sim::Simulator sim;
+        std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+        for (std::uint64_t i = 0; i < sim_events; ++i) {
+          x ^= x << 13;
+          x ^= x >> 7;
+          x ^= x << 17;
+          const std::uint64_t bucket = x % 10;
+          std::int64_t delay_ns;
+          if (bucket < 7) {
+            delay_ns = static_cast<std::int64_t>(x % 60'000);
+          } else if (bucket < 9) {
+            delay_ns = static_cast<std::int64_t>(x % 250'000'000);
+          } else {
+            delay_ns = 300'000'000 +
+                       static_cast<std::int64_t>(x % 3'000'000'000ULL);
+          }
+          sim.schedule_after(Duration::nanos(delay_ns), [] {});
+        }
+        sim.run();
+        g_sink = static_cast<double>(sim.events_executed());
+      }) / static_cast<double>(sim_events),
+      "ns/event");
+
   Rng rng(ctx.seed());
   std::int64_t a = rng.uniform_int(0, 1 << 30);
   std::int64_t b = rng.uniform_int(0, 1 << 30);

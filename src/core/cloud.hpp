@@ -25,6 +25,12 @@
 // Under Policy::kBaselineXen the same topology runs unreplicated guests on
 // unmodified-Xen semantics (real clocks, immediate interrupt delivery):
 // the comparison baseline for every experiment.
+//
+// Everything here is event-driven on sim::Simulator's slab/timer-wheel
+// core: callbacks are sim::Task (48-byte inline storage — every scheduling
+// lambda in this tree fits), and periodic mechanisms (vCPU slices, sync
+// beacons, stall rechecks, multicast SPM/NAK timers, workload issue loops)
+// re-arm their one arena slot via Simulator::reschedule_after.
 #pragma once
 
 #include <cstdint>

@@ -56,23 +56,26 @@ void GuestContext::start(VirtTime start) {
   next_timer_tick_ns_ = last_exit_clock_ns_ + cfg_.timer_period.ns;
   epoch_start_local_ = machine_->local_clock();
 
-  // Launch the beacon loop used for fastest-replica throttling.
+  // Launch the beacon loop used for fastest-replica throttling. The loop
+  // owns one arena slot for its whole life: each tick re-arms the same
+  // event via reschedule_after instead of scheduling a fresh one.
   if (cfg_.policy == Policy::kStopWatch && cfg_.replica_count > 1) {
-    const auto beacon = [this](auto&& self) -> void {
-      if (halted_) return;
-      net::SyncBeacon b;
-      b.vm = vm_;
-      b.machine = machine_->id();
-      b.virt = VirtTime{last_exit_clock_ns_};
-      b.instr = guest_->instr();
-      services_.control_multicast(b, 64);
-      sim_->schedule_after(cfg_.sync_interval,
-                           [this, self]() { self(self); });
-    };
-    sim_->schedule_after(cfg_.sync_interval, [beacon]() { beacon(beacon); });
+    beacon_event_ =
+        sim_->schedule_after(cfg_.sync_interval, [this] { beacon_tick(); });
   }
 
   schedule_slice();
+}
+
+void GuestContext::beacon_tick() {
+  if (halted_) return;
+  net::SyncBeacon b;
+  b.vm = vm_;
+  b.machine = machine_->id();
+  b.virt = VirtTime{last_exit_clock_ns_};
+  b.instr = guest_->instr();
+  services_.control_multicast(b, 64);
+  sim_->reschedule_after(*beacon_event_, cfg_.sync_interval);
 }
 
 void GuestContext::halt() {
@@ -89,7 +92,7 @@ VirtTime GuestContext::virt_now() const {
 
 void GuestContext::schedule_slice() {
   if (halted_ || stalled_) return;
-  SW_ASSERT(!slice_event_);
+  SW_ASSERT(!slice_event_ || !sim_->is_scheduled(*slice_event_));
   const std::uint64_t cur = guest_->instr();
   SW_ASSERT(next_periodic_exit_ > cur);
   const std::uint64_t to_periodic = next_periodic_exit_ - cur;
@@ -106,10 +109,14 @@ void GuestContext::schedule_slice() {
     next_preempt_instr_ = cur + machine_->config().preempt_interval_instr;
   }
   pending_slice_n_ = n;
-  slice_event_ = sim_->schedule_after(run_time, [this] {
-    slice_event_.reset();
-    on_slice_end(pending_slice_n_);
-  });
+  if (slice_event_ && sim_->is_executing(*slice_event_)) {
+    // The common case: the slice that just ended re-arms itself — same
+    // arena slot, same Task, no allocation or construction per slice.
+    sim_->reschedule_after(*slice_event_, run_time);
+  } else {
+    slice_event_ = sim_->schedule_after(
+        run_time, [this] { on_slice_end(pending_slice_n_); });
+  }
 }
 
 void GuestContext::on_slice_end(std::uint64_t n) {
@@ -272,13 +279,15 @@ void GuestContext::enter_stall() {
   stalled_ = true;
   stall_began_ = sim_->now();
   ++stats_.throttle_stalls;
-  sim_->schedule_after(Duration::micros(500), [this] { recheck_stall(); });
+  stall_event_ =
+      sim_->schedule_after(Duration::micros(500), [this] { recheck_stall(); });
 }
 
 void GuestContext::recheck_stall() {
   if (halted_) return;
   if (should_stall()) {
-    sim_->schedule_after(Duration::micros(500), [this] { recheck_stall(); });
+    // Still the fastest replica: the recheck re-arms its own slot.
+    sim_->reschedule_after(*stall_event_, Duration::micros(500));
     return;
   }
   stalled_ = false;

@@ -201,6 +201,7 @@ class GuestContext final : public LoadSource {
   void schedule_slice();
   void on_slice_end(std::uint64_t n);
   void on_guest_exit();
+  void beacon_tick();
   void process_io_ops();
   void inject_due_interrupts();
   void check_epoch(std::uint64_t exit_instr);
@@ -247,7 +248,12 @@ class GuestContext final : public LoadSource {
   bool stalled_{false};
   RealTime stall_began_{};
   std::uint64_t pending_slice_n_{0};
+  /// Periodic timers each own one simulator arena slot for their lifetime
+  /// (re-armed in place via Simulator::reschedule_after; the handles stay
+  /// valid across re-arms, so halt() can still cancel them).
   std::optional<sim::EventId> slice_event_;
+  std::optional<sim::EventId> beacon_event_;
+  std::optional<sim::EventId> stall_event_;
 
   std::uint64_t last_exit_instr_{0};
   std::int64_t last_exit_clock_ns_{0};

@@ -60,25 +60,34 @@ void MulticastGroup::arm_spm(NodeId from) {
   SenderState& snd = senders_[from.value];
   if (snd.spm_armed) return;
   snd.spm_armed = true;
-  net_->simulator().schedule_after(spm_interval_, [this, from]() {
-    SenderState& s = senders_[from.value];
-    s.spm_armed = false;
-    if (s.spm_remaining <= 0) return;
-    --s.spm_remaining;
-    const std::uint64_t max_seq = s.next_seq - 1;
-    for (auto& m : members_) {
-      if (m.node == from) continue;
-      Frame f;
-      f.src = from;
-      f.dst = m.node;
-      f.size_bytes = kHeaderBytes;
-      f.payload = McastSpm{group_id_, max_seq};
-      f.rm_group = group_id_;
-      f.rm_seq = 0;
-      net_->send(std::move(f));
-    }
-    if (s.spm_remaining > 0) arm_spm(from);
-  });
+  sim::Simulator& sim = net_->simulator();
+  if (snd.spm_event && sim.is_executing(*snd.spm_event)) {
+    // Re-armed from inside the SPM timer itself: reuse its arena slot.
+    sim.reschedule_after(*snd.spm_event, spm_interval_);
+    return;
+  }
+  snd.spm_event =
+      sim.schedule_after(spm_interval_, [this, from] { on_spm_timer(from); });
+}
+
+void MulticastGroup::on_spm_timer(NodeId from) {
+  SenderState& s = senders_[from.value];
+  s.spm_armed = false;
+  if (s.spm_remaining <= 0) return;
+  --s.spm_remaining;
+  const std::uint64_t max_seq = s.next_seq - 1;
+  for (auto& m : members_) {
+    if (m.node == from) continue;
+    Frame f;
+    f.src = from;
+    f.dst = m.node;
+    f.size_bytes = kHeaderBytes;
+    f.payload = McastSpm{group_id_, max_seq};
+    f.rm_group = group_id_;
+    f.rm_seq = 0;
+    net_->send(std::move(f));
+  }
+  if (s.spm_remaining > 0) arm_spm(from);
 }
 
 void MulticastGroup::on_frame(NodeId member, const Frame& frame) {
@@ -137,50 +146,60 @@ void MulticastGroup::maybe_schedule_nak(MemberState& m, NodeId sender,
                                         MemberState::RxState& rx) {
   if (rx.nak_scheduled) return;
   rx.nak_scheduled = true;
+  sim::Simulator& sim = net_->simulator();
+  if (rx.nak_event && sim.is_executing(*rx.nak_event)) {
+    // Re-armed from the tail of the NAK timer itself (NAK or retransmission
+    // may be lost): reuse its arena slot.
+    sim.reschedule_after(*rx.nak_event, nak_delay_);
+    return;
+  }
   const NodeId member = m.node;
-  net_->simulator().schedule_after(nak_delay_, [this, member, sender]() {
-    MemberState* mm = find_member(member);
-    if (mm == nullptr) return;
-    auto& rxs = mm->rx[sender.value];
-    rxs.nak_scheduled = false;
+  rx.nak_event = sim.schedule_after(
+      nak_delay_, [this, member, sender] { on_nak_timer(member, sender); });
+}
 
-    const bool tail_gap = rxs.stashed.empty() &&
-                          rxs.next_expected <= rxs.highest_advertised;
-    const bool middle_gap = !rxs.stashed.empty();
-    if (!tail_gap && !middle_gap) {
-      rxs.nak_attempts = 0;
-      return;  // healed meanwhile
-    }
-    const std::uint64_t gap_end = middle_gap ? rxs.stashed.begin()->first
-                                             : rxs.highest_advertised + 1;
-    SW_ASSERT(gap_end > rxs.next_expected);
+void MulticastGroup::on_nak_timer(NodeId member, NodeId sender) {
+  MemberState* mm = find_member(member);
+  if (mm == nullptr) return;
+  auto& rxs = mm->rx[sender.value];
+  rxs.nak_scheduled = false;
 
-    if (rxs.next_expected > rxs.last_nak_position) {
-      rxs.nak_attempts = 0;  // progress since the last attempt
-    }
-    rxs.last_nak_position = rxs.next_expected;
+  const bool tail_gap =
+      rxs.stashed.empty() && rxs.next_expected <= rxs.highest_advertised;
+  const bool middle_gap = !rxs.stashed.empty();
+  if (!tail_gap && !middle_gap) {
+    rxs.nak_attempts = 0;
+    return;  // healed meanwhile
+  }
+  const std::uint64_t gap_end =
+      middle_gap ? rxs.stashed.begin()->first : rxs.highest_advertised + 1;
+  SW_ASSERT(gap_end > rxs.next_expected);
 
-    if (++rxs.nak_attempts > 12) {
-      // Unrecoverable (sender evicted the data from its window): skip the
-      // gap, as PGM does when data falls outside the transmit window.
-      rxs.next_expected = gap_end;
-      rxs.nak_attempts = 0;
-      deliver_in_order(*mm, sender, rxs);
-      return;
-    }
+  if (rxs.next_expected > rxs.last_nak_position) {
+    rxs.nak_attempts = 0;  // progress since the last attempt
+  }
+  rxs.last_nak_position = rxs.next_expected;
 
-    Frame f;
-    f.src = member;
-    f.dst = sender;
-    f.size_bytes = kHeaderBytes;
-    f.payload = McastNak{group_id_, member, rxs.next_expected, gap_end};
-    f.rm_group = group_id_;
-    f.rm_seq = 0;
-    net_->send(std::move(f));
-    ++naks_sent_;
-    // Re-arm in case the NAK or the retransmission is lost.
-    maybe_schedule_nak(*mm, sender, rxs);
-  });
+  if (++rxs.nak_attempts > 12) {
+    // Unrecoverable (sender evicted the data from its window): skip the
+    // gap, as PGM does when data falls outside the transmit window.
+    rxs.next_expected = gap_end;
+    rxs.nak_attempts = 0;
+    deliver_in_order(*mm, sender, rxs);
+    return;
+  }
+
+  Frame f;
+  f.src = member;
+  f.dst = sender;
+  f.size_bytes = kHeaderBytes;
+  f.payload = McastNak{group_id_, member, rxs.next_expected, gap_end};
+  f.rm_group = group_id_;
+  f.rm_seq = 0;
+  net_->send(std::move(f));
+  ++naks_sent_;
+  // Re-arm in case the NAK or the retransmission is lost.
+  maybe_schedule_nak(*mm, sender, rxs);
 }
 
 }  // namespace stopwatch::net

@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -67,6 +68,8 @@ class MulticastGroup {
       /// Highest sequence this receiver knows the sender emitted (from data
       /// frames and SPMs); enables tail-loss detection.
       std::uint64_t highest_advertised{0};
+      /// The (re-armed-in-place) NAK timer for this sender's stream.
+      std::optional<sim::EventId> nak_event;
     };
     std::unordered_map<std::uint32_t, RxState> rx;  // keyed by sender node id
   };
@@ -77,6 +80,8 @@ class MulticastGroup {
     std::map<std::uint64_t, std::pair<FramePayload, std::uint32_t>> buffer;
     int spm_remaining{0};
     bool spm_armed{false};
+    /// The (re-armed-in-place) SPM advertisement timer.
+    std::optional<sim::EventId> spm_event;
   };
 
   static constexpr int kSpmAttempts = 8;
@@ -86,7 +91,9 @@ class MulticastGroup {
                         MemberState::RxState& rx);
   void maybe_schedule_nak(MemberState& m, NodeId sender,
                           MemberState::RxState& rx);
+  void on_nak_timer(NodeId member, NodeId sender);
   void arm_spm(NodeId from);
+  void on_spm_timer(NodeId from);
 
   Network* net_;
   std::uint32_t group_id_;

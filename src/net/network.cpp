@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <cmath>
+#include <memory>
 #include <utility>
 
 namespace stopwatch::net {
@@ -81,14 +82,20 @@ bool Network::send(Frame frame) {
 
   const RealTime arrival = tx_done + prop;
   const NodeId dst_id = frame.dst;
-  sim_->schedule_at(arrival, [this, dst_id, f = std::move(frame)]() {
-    // nodes_ is a deque precisely so this reference survives handlers that
-    // register new nodes mid-delivery (lazy replica wiring).
-    Node& d = node(dst_id);
-    d.stats.frames_received += 1;
-    d.stats.bytes_received += f.size_bytes;
-    d.handler(f);
-  });
+  // The frame (with its variant payload) is too big for the event record's
+  // inline buffer, so it is boxed: the delivery task itself — pointer +
+  // destination — stays inline in the slab, and the frame costs the one
+  // heap allocation it always did.
+  sim_->schedule_at(
+      arrival,
+      [this, dst_id, f = std::make_unique<Frame>(std::move(frame))]() {
+        // nodes_ is a deque precisely so this reference survives handlers
+        // that register new nodes mid-delivery (lazy replica wiring).
+        Node& d = node(dst_id);
+        d.stats.frames_received += 1;
+        d.stats.bytes_received += f->size_bytes;
+        d.handler(*f);
+      });
   return true;
 }
 

@@ -4,29 +4,53 @@
 // VMMs, and guest vCPUs are all driven by events scheduled here. Events at
 // equal timestamps fire in schedule order (sequence-number tie-break), so a
 // simulation run is a pure function of its configuration and seed.
+//
+// Storage layout (the PR-5 event core):
+//  * every event lives in one slot of a slab arena of Record entries,
+//    recycled through a free list; handles are generation-checked
+//    EventId{slot, gen}, so a stale cancel (or a stale heap entry left by a
+//    lazy deletion) is detected by a generation/sequence mismatch instead of
+//    a hash lookup;
+//  * timing is tracked by a three-part structure: a `due` min-heap of
+//    events at or before the wheel cursor (the only place equal-time
+//    ordering is ever decided), a hierarchical timer wheel (kWheelLevels
+//    levels x 64 slots, level-0 tick = 2^kTickShift ns, per-level occupancy
+//    bitmaps) for the near horizon, and an overflow min-heap for events
+//    beyond the wheel horizon (~275 ms);
+//  * callbacks are sim::Task — move-only with 48 bytes of inline storage —
+//    so the common scheduling lambdas never touch the allocator.
+//
+// Wheel buckets hold live events only (cancel unlinks in O(1) via intrusive
+// prev/next indices); the two heaps use lazy deletion with generation
+// checks and periodic compaction. Equal-time FIFO order is preserved across
+// every structure because events become executable only through the due
+// heap, which orders by (time, sequence).
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/time.hpp"
+#include "sim/task.hpp"
 
 namespace stopwatch::sim {
 
-/// Handle for a scheduled event; can be used to cancel it.
+/// Handle for a scheduled event; can be used to cancel or reschedule it.
+/// `slot` names an arena slot, `gen` the slot's generation at allocation —
+/// a handle outlives its event harmlessly (stale operations return false).
 struct EventId {
-  std::uint64_t value{0};
+  std::uint32_t slot{0xffffffffu};
+  std::uint32_t gen{0};
   constexpr auto operator<=>(const EventId&) const = default;
 };
 
 /// Event-driven simulator with a single global (simulated) real-time clock.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Task;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -37,22 +61,37 @@ class Simulator {
 
   /// Schedule `cb` to run at absolute time `at`. `at` must not be in the
   /// past.
-  EventId schedule_at(RealTime at, Callback cb);
+  EventId schedule_at(RealTime at, Task cb);
 
   /// Schedule `cb` to run `delay` after now. Negative delays are clamped to
   /// zero (fires this instant, after already-queued same-time events).
-  EventId schedule_after(Duration delay, Callback cb);
+  EventId schedule_after(Duration delay, Task cb);
 
-  /// Schedule a batch of callbacks as ONE queue entry at absolute time `at`;
-  /// when it fires the callbacks run back to back in vector order. A shard
-  /// of k same-time events costs one heap insertion instead of k — the
+  /// Schedule a batch of callbacks as ONE event record at absolute time
+  /// `at`; when it fires the callbacks run back to back in vector order. A
+  /// shard of k same-time events costs one slab slot instead of k — the
   /// topology layer uses this to boot machine shards without flooding the
   /// queue. Cancelling the returned id cancels the whole batch.
-  EventId schedule_batch(RealTime at, std::vector<Callback> batch);
+  EventId schedule_batch(RealTime at, std::vector<Task> batch);
 
-  /// Cancel a pending event. Cancelling an already-fired or unknown event is
-  /// a no-op and returns false.
+  /// Re-arms the event `id` to fire `delay` after now, reusing its arena
+  /// slot and — when called from inside the event's own callback — its Task
+  /// object, so periodic timers (vCPU slices, sync beacons, stall rechecks)
+  /// pay no allocation, no construction, and no cancel on each tick. Works
+  /// on a pending event too (it is retimed without firing). Negative delays
+  /// clamp to zero. Returns `id` unchanged (the handle stays valid).
+  /// Precondition: `id` is pending or currently executing.
+  EventId reschedule_after(EventId id, Duration delay);
+
+  /// Cancel a pending event. Cancelling an already-fired, stale, or unknown
+  /// event is a no-op and returns false. Cancelling the currently executing
+  /// event revokes a reschedule_after() re-arm if one is in flight.
   bool cancel(EventId id);
+
+  /// True if `id` names an event that is scheduled and not yet fired.
+  [[nodiscard]] bool is_scheduled(EventId id) const;
+  /// True if `id` names the event whose callback is currently running.
+  [[nodiscard]] bool is_executing(EventId id) const;
 
   /// Run the single earliest pending event. Returns false if none pending.
   bool step();
@@ -68,32 +107,160 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
   /// Number of callbacks that rode inside batches instead of occupying
-  /// their own queue entries (diagnostics for the batching win).
+  /// their own slab slots (diagnostics for the batching win).
   [[nodiscard]] std::uint64_t batched_callbacks() const { return batched_; }
 
-  /// Number of events currently pending (including cancelled-but-queued).
-  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Number of live pending events: scheduled, not yet fired, not
+  /// cancelled. Exact — derived from live slab slots, not from queue sizes
+  /// (the seed implementation undercounted after a cancelled entry had been
+  /// lazily popped). A batch counts as one pending event.
+  [[nodiscard]] std::size_t pending() const { return live_; }
+
+  /// Size of the slab arena (live + free slots) — the churn tests assert
+  /// this stays flat while events are recycled.
+  [[nodiscard]] std::size_t arena_slots() const { return slab_size_; }
 
  private:
-  struct Entry {
-    RealTime at;
+  // --- Wheel geometry ---
+  static constexpr int kTickShift = 10;  // level-0 tick = 1024 ns
+  static constexpr int kLevelBits = 6;   // 64 slots per level
+  static constexpr int kWheelLevels = 3;
+  static constexpr std::uint32_t kSlotsPerLevel = 1u << kLevelBits;
+  static constexpr std::uint32_t kSlotMask = kSlotsPerLevel - 1;
+  /// Ticks covered by levels [0, l). Level l spans one tick of size
+  /// 2^(kLevelBits*l) per slot; beyond kWheelHorizonTicks events overflow
+  /// into the far heap.
+  static constexpr std::int64_t kWheelHorizonTicks =
+      std::int64_t{1} << (kLevelBits * kWheelLevels);
+
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  enum class Where : std::uint8_t {
+    kFree,       // on the free list
+    kDue,        // in the due heap (tick <= wheel cursor)
+    kWheel,      // linked into a wheel bucket
+    kFar,        // in the far overflow heap
+    kExecuting,  // callback currently running (slot pinned, not live)
+  };
+
+  struct Record {
+    Task task;
+    std::int64_t at_ns{0};
+    std::uint64_t seq{0};
+    std::uint32_t gen{1};
+    Where where{Where::kFree};
+    std::uint8_t level{0};
+    std::uint8_t bucket{0};  // slot index within the level
+    std::uint32_t prev{kNil};
+    std::uint32_t next{kNil};
+  };
+
+  /// Heap entry (due and far heaps). Carries its own copy of the ordering
+  /// key plus the generation/sequence pair that validates it against the
+  /// slab: cancel and reschedule free or re-key the record immediately and
+  /// leave the entry behind as garbage to be skipped at pop time.
+  struct HeapEntry {
+    std::int64_t at_ns;
     std::uint64_t seq;
-    // Min-heap: earliest time first; FIFO among equal times.
-    bool operator>(const Entry& o) const {
-      if (at.ns != o.at.ns) return at.ns > o.at.ns;
-      return seq > o.seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct HeapLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.at_ns != b.at_ns) return a.at_ns > b.at_ns;
+      return a.seq > b.seq;
     }
   };
+
+  EventId schedule_impl(std::int64_t at_ns, Task&& cb);
+  /// Slab accessors: records live in fixed-size chunks, so a slot's address
+  /// is stable for the simulator's lifetime — callbacks may schedule (and
+  /// grow the slab) while a record is being executed, without relocations.
+  [[nodiscard]] Record& record(std::uint32_t slot) {
+    return chunks_[slot >> kChunkBits][slot & kChunkMask];
+  }
+  [[nodiscard]] const Record& record(std::uint32_t slot) const {
+    return chunks_[slot >> kChunkBits][slot & kChunkMask];
+  }
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+  /// Files `slot` (whose record is `rec`) into due/wheel/far according to
+  /// its record's time, relative to the current wheel cursor.
+  void place(std::uint32_t slot, Record& rec);
+  void wheel_link(std::uint32_t slot, Record& rec, int level,
+                  std::uint32_t bucket);
+  void wheel_unlink(std::uint32_t slot);
+  /// Ensures the due heap's top is the earliest live event, advancing the
+  /// wheel cursor (harvesting level-0 buckets, cascading higher levels,
+  /// draining the far heap) as needed. Returns false if nothing is pending.
+  /// This is the single lazy-skip path shared by step() and run_until().
+  bool prepare_next();
+  /// One cursor advance: moves at least one event toward the due heap.
+  void advance_wheel();
+  /// Detaches a wheel bucket and refiles its records against the cursor.
+  void flush_bucket(int level, std::uint32_t bucket);
+  [[nodiscard]] bool entry_live(const HeapEntry& e) const;
+  void pop_heap_top(std::vector<HeapEntry>& heap);
+  void execute_top();
+
+  // The due structure runs in one of two modes: a sorted array consumed
+  // through due_head_ (how a bulk-harvested level-0 bucket drains — O(1)
+  // pops, no sifting) or, after an out-of-order push lands mid-drain, a
+  // binary heap over the whole vector. It returns to sorted mode whenever
+  // it drains empty.
+  [[nodiscard]] bool due_empty() const {
+    return due_sorted_ ? due_head_ == due_.size() : due_.empty();
+  }
+  [[nodiscard]] const HeapEntry& due_front() const {
+    return due_sorted_ ? due_[due_head_] : due_.front();
+  }
+  void due_pop();
+  void due_push_entry(const HeapEntry& e);
+  void due_compact();
+  void far_compact();
 
   RealTime now_{};
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
   std::uint64_t batched_{0};
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  // Callbacks stored separately, keyed by seq, so Entry stays trivially
-  // copyable inside the heap.
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_{0};
+
+  static constexpr int kChunkBits = 8;  // 256 records per slab chunk
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkBits) - 1;
+
+  std::vector<std::unique_ptr<Record[]>> chunks_;
+  std::size_t slab_size_{0};
+  /// Head of the intrusive free list (chained through Record::next).
+  std::uint32_t free_head_{kNil};
+
+  using BucketHeads = std::array<std::uint32_t, kWheelLevels * kSlotsPerLevel>;
+  static constexpr BucketHeads nil_buckets() {
+    BucketHeads a{};
+    a.fill(kNil);
+    return a;
+  }
+
+  /// Wheel cursor: no live event has tick < cur_tick_ except those already
+  /// in the due heap. Advances monotonically, possibly ahead of now().
+  std::int64_t cur_tick_{0};
+  /// Bucket list heads, flattened [level * kSlotsPerLevel + slot].
+  BucketHeads bucket_head_ = nil_buckets();
+  std::uint64_t bitmap_[kWheelLevels]{};
+
+  std::vector<HeapEntry> due_;
+  std::size_t due_head_{0};
+  bool due_sorted_{true};
+  std::vector<HeapEntry> far_;
+  std::uint64_t due_stale_{0};
+  std::uint64_t far_stale_{0};
+
+  /// Slot of the event whose callback is running (kNil when none), with its
+  /// generation; plain sentinels rather than optionals — these are touched
+  /// on every event execution.
+  std::uint32_t executing_slot_{kNil};
+  std::uint32_t executing_gen_{0};
+  static constexpr std::int64_t kNoRearm = INT64_MIN;
+  std::int64_t rearm_at_ns_{kNoRearm};
 };
 
 }  // namespace stopwatch::sim

@@ -1,0 +1,153 @@
+// sim::Task — the simulator's callback type: a move-only, small-buffer-
+// optimized owner of a `void()` callable.
+//
+// Every event the kernel fires is one of these. std::function<void()> put a
+// heap allocation on the hot path for anything beyond a pointer or two of
+// captures; Task instead embeds up to kInlineBytes (48) of callable state
+// directly in the event record, which covers every scheduling lambda in the
+// tree (the common shapes are `[this]`, `[this, seq]`, and a moved-in
+// std::vector — 8 to 32 bytes). Larger or alignment-exotic callables fall
+// back to a single heap allocation, so nothing is lost relative to
+// std::function; the type is simply move-only because events fire exactly
+// once and are never copied.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace stopwatch::sim {
+
+class Task {
+ public:
+  /// Inline capture capacity. 48 bytes holds `this` plus five words of
+  /// captures (or a moved-in vector/std::function) while keeping the whole
+  /// event record within a cache line and a half; see README "sim kernel".
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Task() noexcept = default;
+  Task(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Task> &&
+             !std::is_same_v<std::remove_cvref_t<F>, std::nullptr_t> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  Task(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &kOps<Fn, true>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kOps<Fn, false>;
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  /// Destroys the held callable (if any); the Task becomes empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Invokes the held callable. Precondition: non-empty.
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+  friend bool operator==(const Task& t, std::nullptr_t) noexcept {
+    return t.ops_ == nullptr;
+  }
+
+  /// True if the held callable lives in the inline buffer (diagnostics and
+  /// tests; empty Tasks report true vacuously).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ == nullptr || ops_->inline_storage;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs the callable from `from` into `to`, then destroys the
+    /// source — a destructive relocate, so moves never leave a moved-from
+    /// callable behind in the buffer. Null when a raw memcpy of the buffer
+    /// is equivalent (trivially copyable captures, or the heap pointer),
+    /// which keeps Task moves on the event hot path call-free.
+    void (*relocate)(void* from, void* to) noexcept;
+    /// Null when destruction is a no-op (trivial captures / moved-out heap
+    /// pointer slots are handled by their own branch).
+    void (*destroy)(void* self) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= kInlineBytes &&
+      alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn, bool Inline>
+  static constexpr Ops make_ops() {
+    if constexpr (Inline) {
+      return Ops{
+          [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+          std::is_trivially_copyable_v<Fn>
+              ? nullptr
+              : +[](void* from, void* to) noexcept {
+                  Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+                  ::new (to) Fn(std::move(*src));
+                  src->~Fn();
+                },
+          std::is_trivially_destructible_v<Fn>
+              ? nullptr
+              : +[](void* self) noexcept {
+                  std::launder(reinterpret_cast<Fn*>(self))->~Fn();
+                },
+          true};
+    } else {
+      return Ops{
+          [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
+          nullptr,  // relocating the owning pointer is a memcpy
+          [](void* self) noexcept {
+            delete *std::launder(reinterpret_cast<Fn**>(self));
+          },
+          false};
+    }
+  }
+
+  template <typename Fn, bool Inline>
+  static constexpr Ops kOps = make_ops<Fn, Inline>();
+
+  void move_from(Task& other) noexcept {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->relocate != nullptr) {
+        other.ops_->relocate(other.storage_, storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, kInlineBytes);
+      }
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const Ops* ops_{nullptr};
+};
+
+}  // namespace stopwatch::sim

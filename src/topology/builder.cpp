@@ -195,8 +195,9 @@ void TopologyBuilder::start() {
   SW_EXPECTS(!started_);
   started_ = true;
   // One boot batch per machine shard: a shard of wired VMs costs one
-  // simulator queue entry instead of one per VM.
-  std::map<int, std::vector<sim::Simulator::Callback>> batches;
+  // simulator arena slot instead of one per VM, and each boot thunk is a
+  // 16-byte capture riding the batch vector's storage.
+  std::map<int, std::vector<sim::Task>> batches;
   for (std::uint32_t i = 0; i < vms_.size(); ++i) {
     if (!vms_[i].wired || vms_[i].booted) continue;
     const int shard = table_.shard_of(vms_[i].machines.front());

@@ -37,6 +37,8 @@ class ExternalHost final : public transport::TransportEnv {
   // TransportEnv:
   void send(net::Packet pkt) override { cloud_->send_external(addr_, pkt); }
   void set_timer(Duration delay, std::function<void()> cb) override {
+    // The std::function itself (32 bytes) rides the event record's inline
+    // buffer; only captures beyond the function's own SBO still allocate.
     cloud_->simulator().schedule_after(delay, std::move(cb));
   }
   [[nodiscard]] std::int64_t now_ns() const override {

@@ -118,6 +118,7 @@ NfsLoadGenerator::NfsLoadGenerator(core::Cloud& cloud, std::string name,
   SW_EXPECTS(processes_ >= 1);
   SW_EXPECTS(rate_per_second_ > 0.0);
   SW_EXPECTS(!mix_.empty());
+  op_events_.resize(static_cast<std::size_t>(processes_));
   for (const auto& e : mix_) mix_total_ += e.weight;
 
   tcp_ = std::make_unique<transport::TcpEndpoint>(host_);
@@ -173,8 +174,16 @@ std::uint32_t NfsLoadGenerator::request_bytes(NfsOp op) {
 void NfsLoadGenerator::schedule_next_op(int process) {
   const double per_process_rate = rate_per_second_ / processes_;
   const double wait_s = rng_.exponential(per_process_rate);
-  cloud_->simulator().schedule_after(Duration::from_seconds_f(wait_s),
-                                     [this, process] { issue_op(process); });
+  const Duration wait = Duration::from_seconds_f(wait_s);
+  auto& ev = op_events_[static_cast<std::size_t>(process)];
+  sim::Simulator& sim = cloud_->simulator();
+  if (ev && sim.is_executing(*ev)) {
+    // Called from the tail of this process's own op event: the open-loop
+    // issue chain re-arms one arena slot per process.
+    sim.reschedule_after(*ev, wait);
+  } else {
+    ev = sim.schedule_after(wait, [this, process] { issue_op(process); });
+  }
 }
 
 void NfsLoadGenerator::issue_op(int process) {

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,8 @@ class NfsLoadGenerator {
   std::uint64_t ops_completed_{0};
   int connected_{0};
   bool issuing_{false};
+  /// Per-process issue timers (one re-armed arena slot each).
+  std::vector<std::optional<sim::EventId>> op_events_;
 };
 
 }  // namespace stopwatch::workload

@@ -51,30 +51,34 @@ BackgroundBroadcaster::BackgroundBroadcaster(core::Cloud& cloud,
                                     [](const net::Packet&) {});
 }
 
-void BackgroundBroadcaster::start() { schedule_next(); }
+void BackgroundBroadcaster::start() {
+  burst_event_ = cloud_->simulator().schedule_after(next_burst_wait(),
+                                                    [this] { on_burst(); });
+}
 
-void BackgroundBroadcaster::schedule_next() {
+Duration BackgroundBroadcaster::next_burst_wait() {
   // Bursts of 1-5 packets; mean burst size 3 -> burst rate = rate / 3.
   const double burst_rate = rate_hz_ / 3.0;
-  const double wait_s = rng_.exponential(burst_rate);
-  cloud_->simulator().schedule_after(
-      Duration::from_seconds_f(wait_s), [this] {
-        const auto burst = rng_.uniform_int(1, 5);
-        Duration offset{};
-        for (std::int64_t i = 0; i < burst; ++i) {
-          cloud_->simulator().schedule_after(offset, [this] {
-            net::Packet pkt;
-            pkt.dst = target_;
-            pkt.kind = net::PacketKind::kRequest;
-            pkt.seq = ++seq_;
-            pkt.size_bytes = 80;
-            cloud_->send_external(self_, pkt);
-            ++sent_;
-          });
-          offset += Duration{rng_.uniform_int(100'000, 900'000)};  // 0.1-0.9ms
-        }
-        schedule_next();
-      });
+  return Duration::from_seconds_f(rng_.exponential(burst_rate));
+}
+
+void BackgroundBroadcaster::on_burst() {
+  const auto burst = rng_.uniform_int(1, 5);
+  Duration offset{};
+  for (std::int64_t i = 0; i < burst; ++i) {
+    cloud_->simulator().schedule_after(offset, [this] {
+      net::Packet pkt;
+      pkt.dst = target_;
+      pkt.kind = net::PacketKind::kRequest;
+      pkt.seq = ++seq_;
+      pkt.size_bytes = 80;
+      cloud_->send_external(self_, pkt);
+      ++sent_;
+    });
+    offset += Duration{rng_.uniform_int(100'000, 900'000)};  // 0.1-0.9ms
+  }
+  // The burst loop re-arms its own arena slot for the next burst.
+  cloud_->simulator().reschedule_after(*burst_event_, next_burst_wait());
 }
 
 }  // namespace stopwatch::workload

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -95,7 +96,8 @@ class BackgroundBroadcaster {
   [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
 
  private:
-  void schedule_next();
+  [[nodiscard]] Duration next_burst_wait();
+  void on_burst();
 
   core::Cloud* cloud_;
   NodeId self_{};
@@ -104,6 +106,8 @@ class BackgroundBroadcaster {
   Rng rng_;
   std::uint64_t sent_{0};
   std::uint32_t seq_{0};
+  /// The burst timer: one simulator arena slot, re-armed per burst.
+  std::optional<sim::EventId> burst_event_;
 };
 
 }  // namespace stopwatch::workload

@@ -1,0 +1,55 @@
+// Golden-seed byte identity across the event-core refactor.
+//
+// The committed JSONs under tests/sim/golden/ were produced by the seed
+// (PR-4) event core — priority queue + hash maps + std::function — at seed
+// 7 in smoke mode. The slab/timer-wheel core must reproduce them byte for
+// byte: every equal-time ordering guarantee, RNG draw order, and timestamp
+// the scenarios depend on is pinned here, end to end through the network,
+// hypervisor, topology, workload, and leakage layers.
+//
+// If a FUTURE behaviour-changing PR (new model, retuned constants) breaks
+// these on purpose, regenerate the files by writing each scenario's
+// Result::to_json() plus a trailing newline — and say so in the PR.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiment/registry.hpp"
+#include "experiment/result.hpp"
+
+namespace stopwatch::experiment {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+const std::vector<std::string> kGoldenScenarios = {
+    "fig2_protocol_trace",
+    "placement_e2e",
+    "leakage_capacity",
+    "leakage_workloads",
+};
+
+TEST(GoldenIdentity, ScenariosMatchPreRefactorBytes) {
+  const auto& registry = ScenarioRegistry::instance();
+  for (const std::string& name : kGoldenScenarios) {
+    ASSERT_NE(registry.find(name), nullptr) << name;
+    const Result result = registry.run(name, /*seed=*/7, /*smoke=*/true);
+    const std::string got = result.to_json() + "\n";
+    const std::string want =
+        read_file(std::string(STOPWATCH_GOLDEN_DIR) + "/" + name + ".json");
+    EXPECT_EQ(got, want) << name
+                         << ": output diverged from the pre-refactor golden";
+  }
+}
+
+}  // namespace
+}  // namespace stopwatch::experiment

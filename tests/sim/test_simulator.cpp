@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -161,6 +166,171 @@ TEST(Simulator, EmptyOrNullBatchRejected) {
   with_null.push_back(nullptr);
   EXPECT_THROW(sim.schedule_batch(RealTime::millis(1), std::move(with_null)),
                ContractViolation);
+}
+
+// --- PR-5 event core: generation checks, wheel/heap boundaries, exact
+// pending(), and in-place rescheduling. ---
+
+TEST(Simulator, PendingExactAfterCancelThenStep) {
+  // Regression for the seed implementation's `heap size - cancelled size`
+  // arithmetic, which undercounted once a cancelled entry had been lazily
+  // popped. pending() must track live events exactly through any
+  // cancel/step interleaving.
+  Simulator sim;
+  const auto a = sim.schedule_at(RealTime::millis(1), [] {});
+  sim.schedule_at(RealTime::millis(2), [] {});
+  sim.schedule_at(RealTime::millis(3), [] {});
+  EXPECT_EQ(sim.pending(), 3u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_TRUE(sim.step());  // skips the cancelled entry, runs the 2 ms event
+  EXPECT_EQ(sim.now(), RealTime::millis(2));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(RealTime::millis(10));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, StaleCancelIsGenerationChecked) {
+  // A recycled slot must not honour handles from its previous life.
+  Simulator sim;
+  const auto a = sim.schedule_at(RealTime::millis(1), [] {});
+  EXPECT_TRUE(sim.cancel(a));
+  bool ran = false;
+  const auto b = sim.schedule_at(RealTime::millis(1), [&] { ran = true; });
+  // The arena recycles the freed slot with a bumped generation...
+  EXPECT_EQ(a.slot, b.slot);
+  EXPECT_NE(a.gen, b.gen);
+  // ...so the stale handle misses instead of killing the new event.
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_TRUE(sim.is_scheduled(b));
+  EXPECT_FALSE(sim.is_scheduled(a));
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(sim.cancel(b));  // already fired
+}
+
+TEST(Simulator, EqualTimeFifoAcrossFarHorizonBoundary) {
+  // First event sits beyond the timer wheel's ~275 ms horizon (far heap);
+  // the second is scheduled at the same instant much later, from the near
+  // side. Schedule order must still decide.
+  Simulator sim;
+  std::vector<int> order;
+  const RealTime t = RealTime::millis(400);
+  sim.schedule_at(t, [&] { order.push_back(1); });  // far heap
+  sim.schedule_at(RealTime::millis(399), [&] {
+    sim.schedule_at(t, [&] { order.push_back(2); });  // near side
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), t);
+}
+
+TEST(Simulator, EqualTimeFifoAcrossWheelAndDueBoundary) {
+  // First event waits in the wheel; run_until stops the clock just short of
+  // it, then a same-timestamp event arrives (which files straight into the
+  // due heap). FIFO among equal timestamps must hold across the boundary.
+  Simulator sim;
+  std::vector<int> order;
+  const RealTime t{2'000'000};
+  sim.schedule_at(t, [&] { order.push_back(1); });
+  sim.run_until(RealTime{t.ns - 1});
+  sim.schedule_at(t, [&] { order.push_back(2); });
+  sim.schedule_at(t, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ManyTimescalesRunInOrder) {
+  // One event per timescale from nanoseconds (due/level 0) to seconds (far
+  // heap), interleaved at schedule time; execution must sort them.
+  Simulator sim;
+  std::vector<std::int64_t> fired;
+  const std::int64_t delays[] = {
+      3'000'000'000,  // far heap, seconds out
+      500,            // due this tick
+      40'000'000,     // wheel level 2
+      1'000,          // level 0
+      900'000'000,    // far heap
+      65'000,         // level 1
+      270'000'000,    // just past the horizon
+      4'200'000,      // level 2
+      77,             // due
+  };
+  for (const std::int64_t d : delays) {
+    sim.schedule_after(Duration{d}, [&fired, &sim] {
+      fired.push_back(sim.now().ns);
+    });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), std::size(delays));
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(sim.now(), RealTime{3'000'000'000});
+}
+
+TEST(Simulator, RescheduleAfterFromInsideCallbackKeepsIdAndSlot) {
+  Simulator sim;
+  int fired = 0;
+  std::optional<EventId> id;
+  id = sim.schedule_after(Duration::micros(10), [&] {
+    if (++fired < 3) {
+      const EventId again = sim.reschedule_after(*id, Duration::micros(10));
+      EXPECT_EQ(again, *id);  // the handle survives the re-arm
+    }
+  });
+  const std::size_t slots_before = sim.arena_slots();
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), RealTime{30'000});
+  EXPECT_EQ(sim.arena_slots(), slots_before);  // same slot all along
+}
+
+TEST(Simulator, RescheduleAfterRetimesPendingEvent) {
+  Simulator sim;
+  RealTime fired{};
+  const auto id =
+      sim.schedule_at(RealTime::millis(5), [&] { fired = sim.now(); });
+  sim.schedule_at(RealTime::millis(1), [&] {
+    sim.reschedule_after(id, Duration::millis(9));  // 1 ms + 9 ms = 10 ms
+  });
+  sim.run();
+  EXPECT_EQ(fired, RealTime::millis(10));
+}
+
+TEST(Simulator, CancelDuringOwnCallbackRevokesRearm) {
+  Simulator sim;
+  int fired = 0;
+  std::optional<EventId> id;
+  id = sim.schedule_after(Duration::micros(1), [&] {
+    ++fired;
+    sim.reschedule_after(*id, Duration::micros(1));
+    EXPECT_TRUE(sim.cancel(*id));   // revokes the re-arm...
+    EXPECT_FALSE(sim.cancel(*id));  // ...which can only be done once
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, TaskHoldsMoveOnlyAndOversizedCallables) {
+  Simulator sim;
+  // Move-only capture (unique_ptr) stays inline.
+  auto box = std::make_unique<int>(7);
+  int got = 0;
+  sim.schedule_after(Duration::micros(1),
+                     [&got, b = std::move(box)] { got = *b; });
+  // A capture larger than Task's 48-byte inline buffer falls back to the
+  // heap but must behave identically.
+  std::array<std::int64_t, 16> big{};
+  big.fill(41);
+  sim.schedule_after(Duration::micros(2), [&got, big] {
+    got += static_cast<int>(big[15]);
+  });
+  Task small = [] {};
+  Task large = [big] { (void)big[0]; };
+  EXPECT_TRUE(small.is_inline());
+  EXPECT_FALSE(large.is_inline());
+  sim.run();
+  EXPECT_EQ(got, 48);
 }
 
 }  // namespace
