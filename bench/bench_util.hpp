@@ -11,6 +11,7 @@
 #include "core/cloud.hpp"
 #include "experiment/scenario.hpp"
 #include "hypervisor/guest_context.hpp"
+#include "hypervisor/policy.hpp"
 #include "leakage/estimators.hpp"
 #include "stats/detection.hpp"
 #include "stats/ecdf.hpp"
@@ -24,7 +25,10 @@ namespace stopwatch::bench {
 /// one replica coresident with one attacker replica, and Poisson background
 /// broadcast traffic.
 struct TimingScenarioConfig {
-  bool stopwatch{true};
+  /// Which mitigation backend runs the cloud. Replicated backends
+  /// (StopWatch) get the 2r-1 machine overlap layout; unreplicated ones
+  /// run attacker and victim coresident on one machine.
+  hypervisor::PolicyKind policy{hypervisor::PolicyKind::kStopWatch};
   bool victim_present{true};
   int replica_count{3};
   double broadcast_rate_hz{80.0};
@@ -46,6 +50,10 @@ struct TimingScenarioConfig {
   double base_ips{1e9};
   double slope_min{0.90};
   double slope_max{1.10};
+  /// Deterland virtual-time batch quantum (kDeterland only).
+  Duration batch_quantum{Duration::millis(1)};
+  /// TIFC egress pacing quantum (kTifcPacing only).
+  Duration release_quantum{Duration::micros(500)};
 };
 
 struct TimingScenarioResult {
@@ -66,8 +74,8 @@ inline TimingScenarioResult run_timing_scenario(
     const TimingScenarioConfig& tc) {
   core::CloudConfig cfg;
   cfg.seed = tc.seed;
-  cfg.policy = tc.stopwatch ? core::Policy::kStopWatch
-                            : core::Policy::kBaselineXen;
+  cfg.policy = hypervisor::PolicyConfig{tc.policy};
+  const bool replicated = hypervisor::policy_replicated(tc.policy);
   cfg.replica_count = tc.replica_count;
   // Host-load model for the timing experiments: a bursting coresident
   // victim visibly perturbs the Dom0 packet path and the vCPU scheduler
@@ -77,18 +85,27 @@ inline TimingScenarioResult run_timing_scenario(
   cfg.machine_template.preempt_wait = Duration::millis(12);
   cfg.machine_template.preempt_interval_instr = 5'000'000;
   cfg.machine_template.base_ips = tc.base_ips;
-  cfg.guest_template.delta_n = tc.delta_n;
-  cfg.guest_template.delta_d = tc.delta_d;
-  cfg.guest_template.aggregation = tc.aggregation;
-  cfg.guest_template.leader_machine = tc.leader_machine;
-  cfg.guest_template.epoch_resync = tc.epoch_resync;
-  cfg.guest_template.epoch_instr = tc.epoch_instr;
-  cfg.guest_template.slope_min = tc.slope_min;
-  cfg.guest_template.slope_max = tc.slope_max;
+  // StopWatch knobs only go under kind = kStopWatch: customizing them on a
+  // non-replicated backend is a ContractViolation by design.
+  if (replicated) {
+    auto& sw = cfg.policy.stopwatch;
+    sw.delta_n = tc.delta_n;
+    sw.delta_d = tc.delta_d;
+    sw.aggregation = tc.aggregation;
+    sw.leader_machine = tc.leader_machine;
+    sw.epoch_resync = tc.epoch_resync;
+    sw.epoch_instr = tc.epoch_instr;
+    sw.slope_min = tc.slope_min;
+    sw.slope_max = tc.slope_max;
+  }
+  cfg.policy.deterland.batch_quantum = tc.batch_quantum;
+  cfg.policy.deterland.delta_n = tc.delta_n;
+  cfg.policy.deterland.delta_d = tc.delta_d;
+  cfg.policy.tifc.release_quantum = tc.release_quantum;
 
   std::vector<int> attacker_machines;
   std::vector<int> victim_machines;
-  if (tc.stopwatch) {
+  if (replicated) {
     const int r = tc.replica_count;
     cfg.machine_count = 2 * r - 1;
     for (int i = 0; i < r; ++i) attacker_machines.push_back(i);
@@ -144,7 +161,7 @@ inline TimingScenarioResult run_timing_scenario(
   result.deliveries = s.net_deliveries;
   result.proposal_spread_ms = s.proposal_spread_ms;
   result.median_margin_ms = s.median_margin_ms;
-  result.disk_margin_ms = tc.victim_present && tc.stopwatch
+  result.disk_margin_ms = tc.victim_present && replicated
                               ? cloud.replica(victim, 0).stats().disk_margin_ms
                               : s.disk_margin_ms;
   result.clock_drift_s =
@@ -165,6 +182,16 @@ inline experiment::ParamSpec binning_param() {
   return experiment::ParamSpec::enumeration(
       "binning", "observation cell layout", "adaptive",
       {"fixed", "adaptive", "sturges"});
+}
+
+/// The enum knob policy-sweepable scenarios expose as --param policy=...;
+/// choices come from hypervisor::policy_choices() so the list cannot drift
+/// from the backends that actually exist. The default is "stopwatch":
+/// running without the param reproduces the golden outputs byte-for-byte.
+inline experiment::ParamSpec policy_param() {
+  return experiment::ParamSpec::enumeration(
+      "policy", "mitigation policy backend", "stopwatch",
+      hypervisor::policy_choices());
 }
 
 /// Observations needed to distinguish two measured series, per confidence.

@@ -37,8 +37,10 @@ Row run_nfs(core::Policy policy, double rate, double run_time_s,
   // small working set), so the queue stays well under Δd at 400 ops/s.
   cfg.machine_template.disk_seek_min = Duration::micros(500);
   cfg.machine_template.disk_seek_max = Duration::millis(3);
-  cfg.guest_template.delta_n = Duration::millis(7);
-  cfg.guest_template.delta_d = Duration::millis(10);
+  if (hypervisor::policy_replicated(policy)) {
+    cfg.policy.stopwatch.delta_n = Duration::millis(7);
+    cfg.policy.stopwatch.delta_d = Duration::millis(10);
+  }
   // Campus-wireless client hop (the paper's T400 on 802.11): ~10 ms RTT.
   cfg.client_link.base_latency = Duration::millis(5);
   core::Cloud cloud(cfg);

@@ -37,7 +37,9 @@ AppResult run_app(const workload::ParsecAppSpec& spec, core::Policy policy,
     // positioning times; Δd chosen as in Sec. VII-A (8-15 ms).
     cfg.machine_template.disk_seek_min = Duration::micros(500);
     cfg.machine_template.disk_seek_max = Duration::millis(3);
-    cfg.guest_template.delta_d = Duration::millis(9);
+    if (hypervisor::policy_replicated(policy)) {
+      cfg.policy.stopwatch.delta_d = Duration::millis(9);
+    }
     core::Cloud cloud(cfg);
 
     bool done = false;

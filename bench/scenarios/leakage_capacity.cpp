@@ -122,6 +122,23 @@ Result run(const ScenarioContext& ctx) {
   const double load_step = ctx.param("load_step");
   const leakage::BinningMode mode =
       leakage::binning_mode_from_choice(ctx.param_choice("binning"));
+  // Policy selection enters through capabilities only: a non-replicated
+  // backend collapses every nominal replica count to 1 draw, and a
+  // paced/batched backend quantizes each disclosed observation up to its
+  // release quantum. One Exp(1) unit of the abstract channel corresponds
+  // to 10 ms of real time (the Δn scale).
+  const auto policy = hypervisor::make_policy(hypervisor::PolicyConfig{
+      hypervisor::policy_kind_from_choice(ctx.param_choice("policy"))});
+  const double quantum =
+      static_cast<double>(policy->release_quantum().ns) / 1e7;
+  const auto quantize = [quantum](double x) {
+    return quantum > 0.0 ? quantum * std::ceil(x / quantum) : x;
+  };
+  // P(quantize(X) <= x) = F(floor(x/q)*q): the analytic channel sees the
+  // same staircase the samples do.
+  const auto cdf_arg = [quantum](double x) {
+    return quantum > 0.0 ? quantum * std::floor(x / quantum) : x;
+  };
   Rng rng(ctx.seed() ^ 0x1eaca9e5);
 
   Result result("leakage_capacity");
@@ -133,14 +150,15 @@ Result run(const ScenarioContext& ctx) {
   bool decreasing = true;
   double max_rel_error = 0.0;
 
-  for (const int replicas : {1, 3, 5}) {
+  for (const int nominal : {1, 3, 5}) {
+    const int replicas = policy->effective_replicas(nominal);
     ObservationLog log(
-        ObservationLogConfig{ctx.seed() ^ static_cast<std::uint64_t>(replicas),
+        ObservationLogConfig{ctx.seed() ^ static_cast<std::uint64_t>(nominal),
                              /*reservoir_capacity=*/16384});
     for (int t = 0; t < trials; ++t) {
       for (int c = 0; c < classes; ++c) {
-        log.record(c, sample_median_observation(rng, replicas,
-                                                victim_lambda(c, load_step)));
+        log.record(c, quantize(sample_median_observation(
+                          rng, replicas, victim_lambda(c, load_step))));
       }
     }
     const std::vector<double> edges =
@@ -157,7 +175,7 @@ Result run(const ScenarioContext& ctx) {
     // deterministic permutation baseline.
     const std::vector<double> pooled = log.pooled_samples();
     ObservationLog null_log(ObservationLogConfig{
-        ctx.seed() ^ (0xf100ULL + static_cast<std::uint64_t>(replicas)),
+        ctx.seed() ^ (0xf100ULL + static_cast<std::uint64_t>(nominal)),
         /*reservoir_capacity=*/16384});
     for (std::size_t i = 0; i < pooled.size(); ++i) {
       null_log.record(static_cast<int>(i % static_cast<std::size_t>(classes)),
@@ -174,12 +192,12 @@ Result run(const ScenarioContext& ctx) {
     for (int c = 0; c < classes; ++c) {
       const double lambda_c = victim_lambda(c, load_step);
       analytic.push_back(analytic_channel_row(edges, [&](double x) {
-        return analytic_median_cdf(x, replicas, lambda_c);
+        return analytic_median_cdf(cdf_arg(x), replicas, lambda_c);
       }));
     }
     const leakage::CapacityResult bound = leakage::blahut_arimoto(analytic);
 
-    const std::string suffix = "_r" + std::to_string(replicas);
+    const std::string suffix = "_r" + std::to_string(nominal);
     result.add_metric("mi_bits" + suffix, mi, "bits");
     result.add_metric("capacity_bits" + suffix, measured.capacity_bits,
                       "bits");
@@ -194,11 +212,11 @@ Result run(const ScenarioContext& ctx) {
         std::max(0.02, bound.capacity_bits);
     result.add_metric("capacity_rel_error" + suffix, error, "frac");
     max_rel_error = std::max(max_rel_error, error);
-    if (replicas > 1 && measured.capacity_bits >= prev_capacity) {
+    if (nominal > 1 && measured.capacity_bits >= prev_capacity) {
       decreasing = false;
     }
     prev_capacity = measured.capacity_bits;
-    replica_axis.push_back(replicas);
+    replica_axis.push_back(nominal);
     measured_mi.push_back(mi);
     measured_capacity.push_back(measured.capacity_bits);
     analytic_capacity.push_back(bound.capacity_bits);
@@ -215,7 +233,7 @@ Result run(const ScenarioContext& ctx) {
   const int obs_levels = ctx.param_int("obs_levels");
   const int obs_trials = ctx.param_int("obs_trials_per_class");
   const int max_obs = 1 << (obs_levels - 1);
-  const int replicas = 3;
+  const int replicas = policy->effective_replicas(3);
 
   // Analytic Gaussian-approximation SNR of the averaged statistic: the
   // between-class variance of the median's mean over the within-class
@@ -227,7 +245,9 @@ Result run(const ScenarioContext& ctx) {
     double mean = 0.0;
     double variance = 0.0;
     analytic_moments(
-        [&](double x) { return analytic_median_cdf(x, replicas, lambda_c); },
+        [&](double x) {
+          return analytic_median_cdf(cdf_arg(x), replicas, lambda_c);
+        },
         /*hi=*/12.0 / lambda_c, mean, variance);
     class_mean[static_cast<std::size_t>(c)] = mean;
     within += variance / classes;
@@ -253,7 +273,7 @@ Result run(const ScenarioContext& ctx) {
       double sum = 0.0;
       int level = 0;
       for (int n = 1; n <= max_obs; ++n) {
-        sum += sample_median_observation(rng, replicas, lambda_c);
+        sum += quantize(sample_median_observation(rng, replicas, lambda_c));
         if (n == (1 << level)) {
           prefix_means[static_cast<std::size_t>(level)]
                       [static_cast<std::size_t>(c)]
@@ -340,7 +360,7 @@ Result run(const ScenarioContext& ctx) {
                    "trials per class for the aggregation ladder", 1200.0,
                    500.0}
              .with_int_range(100, 100000),
-         binning_param()},
+         binning_param(), policy_param()},
     .deterministic = true,
     .run = run,
 }};

@@ -152,6 +152,14 @@ Result run(const ScenarioContext& ctx) {
                                    }),
                     "ns/op");
 
+  // The memoized hit path — the case detection sweeps actually exercise
+  // after their first confidence-grid pass (fixed (p, k) keys).
+  result.add_metric("chi_squared_inverse_cdf_memo_hit",
+                    time_ns_per_op(iters, [&](auto) {
+                      g_sink = stats::chi_squared_inverse_cdf(0.99, 39.0);
+                    }),
+                    "ns/op");
+
   const auto base = std::make_shared<stats::Exponential>(1.0);
   const auto victim = std::make_shared<stats::Exponential>(0.5);
   result.add_metric(

@@ -19,7 +19,8 @@ void demo(bool stopwatch) {
   std::printf("--- %s ---\n", stopwatch ? "StopWatch" : "unmodified Xen");
 
   TimingScenarioConfig with_victim;
-  with_victim.stopwatch = stopwatch;
+  with_victim.policy = stopwatch ? hypervisor::PolicyKind::kStopWatch
+                                 : hypervisor::PolicyKind::kBaselineXen;
   with_victim.victim_present = true;
   with_victim.run_time = Duration::seconds(20);
   with_victim.seed = 7;

@@ -16,21 +16,11 @@ void validate(const CloudConfig& cfg) {
   SW_EXPECTS_MSG(cfg.machine_count >= 1,
                  "CloudConfig.machine_count must be >= 1 (got " +
                      std::to_string(cfg.machine_count) + ")");
-  SW_EXPECTS_MSG(cfg.replica_count >= 1,
-                 "CloudConfig.replica_count must be >= 1 (got " +
-                     std::to_string(cfg.replica_count) + ")");
-  SW_EXPECTS_MSG(cfg.replica_count % 2 == 1,
-                 "CloudConfig.replica_count must be odd for median "
-                 "agreement (got " +
-                     std::to_string(cfg.replica_count) + ")");
-  if (cfg.policy == Policy::kStopWatch) {
-    SW_EXPECTS_MSG(cfg.replica_count <= cfg.machine_count,
-                   "CloudConfig.replica_count (" +
-                       std::to_string(cfg.replica_count) +
-                       ") cannot exceed machine_count (" +
-                       std::to_string(cfg.machine_count) +
-                       "): replicas must land on distinct machines");
-  }
+  // make_policy validates the per-policy knobs (including the "replica
+  // knobs on a non-replicated backend" contract); the replica/machine
+  // combination check is the policy capability's job.
+  hypervisor::make_policy(cfg.policy)
+      ->validate_replicas("CloudConfig", cfg.replica_count, cfg.machine_count);
   SW_EXPECTS_MSG(cfg.shard_size >= 1,
                  "CloudConfig.shard_size must be >= 1 (got " +
                      std::to_string(cfg.shard_size) + ")");

@@ -2,7 +2,9 @@
 //
 // A Cloud owns the simulator, the network fabric, and the topology layer
 // (src/topology) that in turn owns the sharded machine table, the ingress
-// and egress nodes, and the guest VMs. Under Policy::kStopWatch every guest
+// and egress nodes, and the guest VMs. The mitigation backend is chosen by
+// CloudConfig::policy (hypervisor::PolicyConfig — see
+// src/hypervisor/policy.hpp). Under the StopWatch policy every guest
 // VM added is transparently replicated `replica_count` times across the
 // requested machines and wired into:
 //   * a per-VM ingress entry (its logical network address) that replicates
@@ -22,9 +24,11 @@
 // register Θ(n²) VM placements over n = 501 machines and only pay for the
 // ones actually driven.
 //
-// Under Policy::kBaselineXen the same topology runs unreplicated guests on
-// unmodified-Xen semantics (real clocks, immediate interrupt delivery):
-// the comparison baseline for every experiment.
+// Under the baseline-Xen policy the same topology runs unreplicated
+// guests on unmodified-Xen semantics (real clocks, immediate interrupt
+// delivery): the comparison baseline for every experiment. The Deterland
+// and TIFC policies reuse the unreplicated wiring with their own delivery
+// and egress-release rules.
 //
 // Everything here is event-driven on sim::Simulator's slab/timer-wheel
 // core: callbacks are sim::Task (48-byte inline storage — every scheduling
@@ -53,14 +57,19 @@
 namespace stopwatch::core {
 
 using hypervisor::Policy;
+using hypervisor::PolicyConfig;
+using hypervisor::PolicyKind;
 using topology::EgressStats;
 using topology::WiringMode;
 
 struct CloudConfig {
   std::uint64_t seed{1};
-  Policy policy{Policy::kStopWatch};
-  /// Replicas per guest VM under StopWatch (3 in the paper, 5 for Sec. IX
-  /// hardening). Ignored (forced to 1) under the baseline policy.
+  /// Mitigation-policy selection + per-policy knobs (implicitly
+  /// constructible from a PolicyKind; see hypervisor/policy.hpp).
+  PolicyConfig policy{};
+  /// Replicas per guest VM under replicated policies (3 in the paper, 5
+  /// for Sec. IX hardening). Ignored (forced to 1) under non-replicated
+  /// policies.
   int replica_count{3};
   int machine_count{3};
   /// Machines per shard of the topology layer's machine table.

@@ -27,15 +27,13 @@ GuestContext::GuestContext(VmId vm, ReplicaIndex replica, NodeId vm_addr,
       sim_(&sim),
       cfg_(cfg),
       services_(std::move(services)),
-      clock_(cfg.policy == Policy::kStopWatch
-                 ? VirtualClock::Mode::kVirtualized
-                 : VirtualClock::Mode::kRealPassthrough,
-             [m = machine_] { return m->local_clock(); }) {
+      policy_(make_policy(cfg.policy)),
+      clock_(policy_->clock_mode(), [m = machine_] { return m->local_clock(); }) {
   SW_EXPECTS(cfg_.replica_count >= 1);
   SW_EXPECTS(cfg_.exit_interval_instr >= 1'000);
   SW_EXPECTS(cfg_.initial_slope > 0.0);
   SW_EXPECTS(services_.send_frame != nullptr);
-  if (cfg_.policy == Policy::kStopWatch && cfg_.replica_count > 1) {
+  if (policy_->replicated() && cfg_.replica_count > 1) {
     SW_EXPECTS(services_.control_multicast != nullptr);
   }
   guest_ = std::make_unique<vm::GuestVm>(
@@ -59,9 +57,9 @@ void GuestContext::start(VirtTime start) {
   // Launch the beacon loop used for fastest-replica throttling. The loop
   // owns one arena slot for its whole life: each tick re-arms the same
   // event via reschedule_after instead of scheduling a fresh one.
-  if (cfg_.policy == Policy::kStopWatch && cfg_.replica_count > 1) {
-    beacon_event_ =
-        sim_->schedule_after(cfg_.sync_interval, [this] { beacon_tick(); });
+  if (policy_->replicated() && cfg_.replica_count > 1) {
+    beacon_event_ = sim_->schedule_after(policy_->sync_interval(),
+                                         [this] { beacon_tick(); });
   }
 
   schedule_slice();
@@ -75,7 +73,7 @@ void GuestContext::beacon_tick() {
   b.virt = VirtTime{last_exit_clock_ns_};
   b.instr = guest_->instr();
   services_.control_multicast(b, 64);
-  sim_->reschedule_after(*beacon_event_, cfg_.sync_interval);
+  sim_->reschedule_after(*beacon_event_, policy_->sync_interval());
 }
 
 void GuestContext::halt() {
@@ -131,7 +129,7 @@ void GuestContext::on_guest_exit() {
   next_periodic_exit_ = exit_instr + cfg_.exit_interval_instr;
 
   process_io_ops();
-  if (cfg_.epoch_resync && cfg_.policy == Policy::kStopWatch) {
+  if (policy_->epoch_instructions() > 0) {
     check_epoch(exit_instr);
   }
   inject_due_interrupts();
@@ -140,7 +138,7 @@ void GuestContext::on_guest_exit() {
   const double busy = guest_->is_idle() ? 0.0 : 1.0;
   activity_ema_ = 0.98 * activity_ema_ + 0.02 * busy;
 
-  if (cfg_.policy == Policy::kStopWatch && should_stall()) {
+  if (policy_->replicated() && should_stall()) {
     enter_stall();
     return;
   }
@@ -155,9 +153,8 @@ void GuestContext::process_io_ops() {
       slot.request_id = rd->request_id;
       slot.physical_done = done;
       slot.read = true;
-      slot.delivery = cfg_.policy == Policy::kStopWatch
-                          ? last_exit_clock_ns_ + cfg_.delta_d.ns
-                          : done.ns + machine_->config().clock_offset.ns;
+      slot.delivery = policy_->disk_delivery(
+          last_exit_clock_ns_, done.ns + machine_->config().clock_offset.ns);
       disk_slots_.push_back(slot);
     } else if (const auto* wr = std::get_if<vm::DiskWriteOp>(&op)) {
       const RealTime done = machine_->schedule_disk_op(wr->bytes);
@@ -165,15 +162,14 @@ void GuestContext::process_io_ops() {
       slot.request_id = wr->request_id;
       slot.physical_done = done;
       slot.read = false;
-      slot.delivery = cfg_.policy == Policy::kStopWatch
-                          ? last_exit_clock_ns_ + cfg_.delta_d.ns
-                          : done.ns + machine_->config().clock_offset.ns;
+      slot.delivery = policy_->disk_delivery(
+          last_exit_clock_ns_, done.ns + machine_->config().clock_offset.ns);
       disk_slots_.push_back(slot);
     } else if (auto* sp = std::get_if<vm::SendPacketOp>(&op)) {
       ++out_seq_;
       out_hash_chain_ = mix_hash(out_hash_chain_, sp->pkt.content_hash());
       out_hashes_.push_back(sp->pkt.content_hash());
-      if (cfg_.policy == Policy::kStopWatch) {
+      if (policy_->tunnels_output()) {
         net::Frame f;
         f.src = services_.machine_node;
         f.dst = services_.egress_node;
@@ -215,7 +211,7 @@ void GuestContext::inject_due_interrupts() {
   // Disk/DMA completions, in request (FIFO) order.
   while (!disk_slots_.empty() && disk_slots_.front().delivery <= now_ns) {
     DiskSlot& slot = disk_slots_.front();
-    if (cfg_.policy == Policy::kStopWatch &&
+    if (policy_->deterministic_disk_deadline() &&
         sim_->now().ns < slot.physical_done.ns && !slot.late_counted) {
       // Δd was too small: the physical transfer has not finished by the
       // virtual delivery time. In the real system this replica would have
@@ -271,7 +267,7 @@ bool GuestContext::should_stall() const {
     max_peer = std::max(max_peer, virt);
   }
   // I am the fastest and my lead over the second-fastest exceeds the cap.
-  return last_exit_clock_ns_ - max_peer > cfg_.max_replica_gap.ns;
+  return last_exit_clock_ns_ - max_peer > policy_->max_replica_gap().ns;
 }
 
 void GuestContext::enter_stall() {
@@ -296,7 +292,7 @@ void GuestContext::recheck_stall() {
 }
 
 void GuestContext::on_ingress_copy(const net::IngressCopy& copy) {
-  SW_EXPECTS(cfg_.policy == Policy::kStopWatch);
+  SW_EXPECTS(policy_->replicated());
   if (copy.vm != vm_) return;
   NetSlot& slot = net_slots_[copy.copy_seq];
   slot.pkt = copy.pkt;
@@ -318,7 +314,8 @@ void GuestContext::on_ingress_copy(const net::IngressCopy& copy) {
     net::Proposal p;
     p.vm = vm_;
     p.copy_seq = seq;
-    p.proposed_delivery = VirtTime{last_exit_clock_ns_ + cfg_.delta_n.ns};
+    p.proposed_delivery =
+        VirtTime{policy_->propose_delivery(last_exit_clock_ns_)};
     p.proposer = machine_->id();
     const auto it = net_slots_.find(seq);
     if (it != net_slots_.end()) {
@@ -329,7 +326,7 @@ void GuestContext::on_ingress_copy(const net::IngressCopy& copy) {
 }
 
 void GuestContext::on_proposal(const net::Proposal& p) {
-  SW_EXPECTS(cfg_.policy == Policy::kStopWatch);
+  SW_EXPECTS(policy_->replicated());
   if (p.vm != vm_) return;
   if (p.copy_seq < next_net_inject_seq_) return;  // already delivered
   NetSlot& slot = net_slots_[p.copy_seq];
@@ -347,33 +344,17 @@ void GuestContext::on_proposal(const net::Proposal& p) {
     return;
   }
 
-  // All proposals in: combine per the configured rule (median in the paper).
-  std::vector<std::int64_t> vals;
-  vals.reserve(slot.proposals.size());
-  for (const auto& [machine, v] : slot.proposals) vals.push_back(v);
-  std::sort(vals.begin(), vals.end());
-  std::int64_t median = 0;
-  switch (cfg_.aggregation) {
-    case AggregationRule::kMedian:
-      median = vals[(vals.size() - 1) / 2];
-      break;
-    case AggregationRule::kMin:
-      median = vals.front();
-      break;
-    case AggregationRule::kMax:
-      median = vals.back();
-      break;
-    case AggregationRule::kLeader: {
-      const auto lit = slot.proposals.find(cfg_.leader_machine);
-      SW_ASSERT(lit != slot.proposals.end());
-      median = lit->second;
-      break;
-    }
-  }
+  // All proposals in: combine per the policy's aggregation rule (median of
+  // the replicas' votes in the paper).
+  std::int64_t median = policy_->combine_proposals(slot.proposals);
 
   // Spread between the two *fastest* replicas — the gap Δn must dominate
   // (the slowest replica may lag arbitrarily; the median never comes from
   // it, and the throttle only paces the leaders, Sec. VII-A).
+  std::vector<std::int64_t> vals;
+  vals.reserve(slot.proposals.size());
+  for (const auto& [machine, v] : slot.proposals) vals.push_back(v);
+  std::sort(vals.begin(), vals.end());
   stats_.proposal_spread_ms.push_back(
       static_cast<double>(vals[vals.size() - 1] - vals[vals.size() - 2]) /
       1e6);
@@ -408,20 +389,22 @@ void GuestContext::on_epoch_report(const net::EpochReport& r) {
 }
 
 void GuestContext::on_direct_packet(const net::Packet& pkt) {
-  SW_EXPECTS(cfg_.policy == Policy::kBaselineXen);
+  SW_EXPECTS(!policy_->replicated());
   const Duration processing =
       machine_->vmm_processing_delay(machine_->load_excluding(nullptr));
   const std::uint64_t seq = baseline_arrival_seq_++;
   NetSlot slot;
   slot.pkt = pkt;
   slot.have_pkt = true;
-  slot.delivery = (sim_->now() + processing).ns +
-                  machine_->config().clock_offset.ns;
+  slot.delivery = policy_->direct_delivery(
+      (sim_->now() + processing).ns + machine_->config().clock_offset.ns,
+      last_exit_clock_ns_);
   net_slots_.emplace(seq, std::move(slot));
 }
 
 void GuestContext::check_epoch(std::uint64_t exit_instr) {
-  const std::uint64_t boundary = (epoch_index_ + 1) * cfg_.epoch_instr;
+  const std::uint64_t epoch_instr = policy_->epoch_instructions();
+  const std::uint64_t boundary = (epoch_index_ + 1) * epoch_instr;
   if (exit_instr < boundary) return;
 
   // Apply the update derived from the *previous* epoch's reports. Doing it
@@ -452,9 +435,8 @@ void GuestContext::check_epoch(std::uint64_t exit_instr) {
       const double candidate =
           (static_cast<double>(med.r_k.ns) - virt_at_epoch_end +
            static_cast<double>(med.d_k.ns)) /
-          static_cast<double>(cfg_.epoch_instr);
-      const double slope =
-          clamp_slope(candidate, cfg_.slope_min, cfg_.slope_max);
+          static_cast<double>(epoch_instr);
+      const double slope = policy_->epoch_slope(candidate);
       clock_.rebase(exit_instr, slope);
       ++stats_.epoch_rebase_count;
     }

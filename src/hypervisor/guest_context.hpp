@@ -5,19 +5,23 @@
 //  * execution engine: runs the guest in instruction slices whose real
 //    duration reflects host speed, contention, and jitter; every slice ends
 //    in a guest-caused VM exit (periodic, or at a trapping I/O instruction);
-//  * the virtual clock and PIT timer-interrupt injection (Sec. IV-B);
-//  * the network card device model: buffer-hide inbound packets, propose
+//  * the guest clock and PIT timer-interrupt injection (Sec. IV-B);
+//  * the network card device model: buffer-hide inbound packets and deliver
+//    them at the policy's delivery time — under StopWatch: propose
 //    virt(last exit) + Δn, multicast proposals, adopt the median, inject at
 //    the first guest-caused exit past the delivery time, and only then copy
 //    data to the guest (anti-polling) (Sec. V);
-//  * the IDE disk / DMA device model: deliver completion interrupts at
-//    virt(request) + Δd, provided the physical transfer finished (Sec. V);
-//  * output tunneling to the egress node (Sec. VI);
+//  * the IDE disk / DMA device model: deliver completion interrupts at the
+//    policy's disk deadline (virt(request) + Δd under StopWatch), provided
+//    the physical transfer finished (Sec. V);
+//  * output tunneling to the egress node, when the policy tunnels (Sec. VI);
 //  * fastest-replica throttling via virtual-time sync beacons (Sec. VII-A);
 //  * epoch-based clock resynchronization (Sec. IV-A);
 //  * divergence detection (synchrony violations).
 //
-// Under Policy::kBaselineXen the same machinery emulates unmodified Xen:
+// Every policy-dependent decision is delegated to the MitigationPolicy
+// built from GuestContextConfig::policy (see hypervisor/policy.hpp): under
+// PolicyKind::kBaselineXen the same machinery emulates unmodified Xen —
 // the guest clock passes through machine-local real time, and interrupts
 // are delivered as soon as Dom0 has processed them — which is exactly what
 // leaks coresident-victim activity.
@@ -35,6 +39,7 @@
 #include "common/ids.hpp"
 #include "common/time.hpp"
 #include "hypervisor/machine.hpp"
+#include "hypervisor/policy.hpp"
 #include "hypervisor/virtual_clock.hpp"
 #include "net/frame.hpp"
 #include "sim/simulator.hpp"
@@ -42,52 +47,22 @@
 
 namespace stopwatch::hypervisor {
 
-/// Which hypervisor the cloud emulates.
-enum class Policy {
-  kBaselineXen,  ///< unmodified Xen: real clocks, immediate delivery
-  kStopWatch,    ///< the paper's system
-};
-
-/// How the VMMs combine proposed delivery times (ablation E11; the paper
-/// argues only the median resists both a coresident victim and a leader
-/// that copies its timing to all replicas).
-enum class AggregationRule {
-  kMedian,  ///< the paper's choice
-  kMin,     ///< earliest proposal dictates
-  kMax,     ///< latest proposal dictates
-  kLeader,  ///< one fixed replica dictates (classic replication systems)
-};
-
 struct GuestContextConfig {
-  Policy policy{Policy::kStopWatch};
+  /// Mitigation-policy selection + per-policy knobs (StopWatch's Δn/Δd,
+  /// aggregation rule, throttle gap, epoch resync, ... live in
+  /// policy.stopwatch; see hypervisor/policy.hpp).
+  PolicyConfig policy{};
   /// Replicas per guest VM (3 in the paper; 5 hardens against Sec. IX).
+  /// Forced to 1 by non-replicated policies.
   int replica_count{3};
-  AggregationRule aggregation{AggregationRule::kMedian};
-  /// For AggregationRule::kLeader: machine id whose proposal dictates.
-  std::uint32_t leader_machine{0};
   /// Keep per-packet protocol traces (first 32 inbound packets).
   bool record_packet_traces{false};
-  /// Δn: virtual-time offset for network-interrupt proposals.
-  Duration delta_n{Duration::millis(10)};
-  /// Δd: virtual-time offset for disk/DMA completion delivery.
-  Duration delta_d{Duration::millis(12)};
   /// Guest-caused VM exits occur at least every this many instructions.
   std::uint64_t exit_interval_instr{100'000};
   /// PIT period (250 Hz in the paper's guests).
   Duration timer_period{Duration::micros(4000)};
-  /// Maximum allowed virtual-time lead of the fastest replica over the
-  /// second fastest; enforced by slowing the leader.
-  Duration max_replica_gap{Duration::millis(3)};
-  /// Real-time period of virtual-time sync beacons.
-  Duration sync_interval{Duration::millis(2)};
   /// Initial virtual-clock slope (ns of virtual time per instruction).
   double initial_slope{1.0};
-
-  /// Epoch-based resynchronization of virt toward real time (Sec. IV-A).
-  bool epoch_resync{false};
-  std::uint64_t epoch_instr{200'000'000};  // the paper's I
-  double slope_min{0.90};                  // ℓ
-  double slope_max{1.10};                  // u
 };
 
 /// Timeline of one inbound packet through the StopWatch protocol (Fig. 2/3).
@@ -160,8 +135,8 @@ class GuestContext final : public LoadSource {
 
   // --- Cloud-facing event entry points ---
 
-  /// StopWatch: an ingress copy of an inbound guest packet arrived at this
-  /// machine's Dom0.
+  /// Replicated policies: an ingress copy of an inbound guest packet
+  /// arrived at this machine's Dom0.
   void on_ingress_copy(const net::IngressCopy& copy);
   /// A peer VMM's (or our own) proposal for an inbound packet.
   void on_proposal(const net::Proposal& p);
@@ -169,7 +144,8 @@ class GuestContext final : public LoadSource {
   void on_sync_beacon(const net::SyncBeacon& b);
   /// A peer replica's epoch report.
   void on_epoch_report(const net::EpochReport& r);
-  /// Baseline: a packet delivered directly to this machine for this guest.
+  /// Non-replicated policies: a packet delivered directly to this machine
+  /// for this guest.
   void on_direct_packet(const net::Packet& pkt);
 
   // --- Introspection for experiments ---
@@ -177,6 +153,7 @@ class GuestContext final : public LoadSource {
   [[nodiscard]] VirtTime virt_now() const;
   [[nodiscard]] std::uint64_t instr() const { return guest_->instr(); }
   [[nodiscard]] const GuestContextStats& stats() const { return stats_; }
+  [[nodiscard]] const MitigationPolicy& policy() const { return *policy_; }
   [[nodiscard]] const vm::GuestCounters& guest_counters() const {
     return guest_->counters();
   }
@@ -209,8 +186,9 @@ class GuestContext final : public LoadSource {
   void enter_stall();
   void recheck_stall();
 
-  // Guest-clock "now" in ns (virtual under StopWatch, machine-local real
-  // under baseline) as of the last guest-caused exit.
+  // Guest-clock "now" in ns (virtual under StopWatch/Deterland,
+  // machine-local real under baseline/TIFC) as of the last guest-caused
+  // exit.
   [[nodiscard]] std::int64_t guest_clock_at_last_exit() const {
     return last_exit_clock_ns_;
   }
@@ -240,6 +218,8 @@ class GuestContext final : public LoadSource {
   GuestContextConfig cfg_;
   ReplicaServices services_;
 
+  /// Built before clock_ (clock mode is a policy capability).
+  std::unique_ptr<MitigationPolicy> policy_;
   std::unique_ptr<vm::GuestVm> guest_;
   VirtualClock clock_;
 

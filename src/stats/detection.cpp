@@ -108,6 +108,9 @@ long ChiSquaredDetector::observations_needed(double confidence) const {
   // Expected statistic after N draws from the alternative ~ (k-1) + N λ1.
   const double n = (crit - dof) / noncentrality_;
   if (n <= 1.0) return 1;
+  // Near-degenerate channels (heavily quantized policies) can push λ1 to
+  // denormal territory where ceil(n) no longer fits in long.
+  if (n >= 9.2e18) return std::numeric_limits<long>::max();
   return static_cast<long>(std::ceil(n));
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
+#include <utility>
 
 #include "common/contracts.hpp"
 
@@ -100,6 +102,16 @@ double chi_squared_inverse_cdf(double p, double k) {
   SW_EXPECTS(k > 0.0);
   if (p == 0.0) return 0.0;
 
+  // Detection sweeps evaluate a fixed confidence grid against a handful of
+  // dof values, so the same (p, k) recurs thousands of times per scenario
+  // at ~8.4 us per cold solve. Exact-key memoization is sound here —
+  // callers pass round constants — and thread_local keeps the parallel
+  // runner contention-free. Bounded so adversarial key streams cannot grow
+  // it without limit.
+  thread_local std::map<std::pair<double, double>, double> memo;
+  const std::pair<double, double> key{p, k};
+  if (const auto it = memo.find(key); it != memo.end()) return it->second;
+
   // Wilson-Hilferty approximation as a starting point.
   const double z = normal_inverse_cdf(p);
   const double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
@@ -123,7 +135,10 @@ double chi_squared_inverse_cdf(double p, double k) {
     }
     if (hi - lo < 1e-12 * (1.0 + hi)) break;
   }
-  return 0.5 * (lo + hi);
+  const double root = 0.5 * (lo + hi);
+  if (memo.size() >= 4096) memo.clear();
+  memo.emplace(key, root);
+  return root;
 }
 
 double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }

@@ -8,11 +8,10 @@
 
 namespace stopwatch::topology {
 
-using hypervisor::Policy;
-
 TopologyBuilder::TopologyBuilder(sim::Simulator& sim, net::Network& net,
                                  TopologyConfig cfg)
     : cfg_(cfg),
+      policy_(hypervisor::make_policy(cfg.policy)),
       sim_(&sim),
       net_(&net),
       table_(sim, net,
@@ -21,22 +20,8 @@ TopologyBuilder::TopologyBuilder(sim::Simulator& sim, net::Network& net,
              [this](int machine, const net::Frame& f) {
                on_machine_frame(machine, f);
              }) {
-  SW_EXPECTS_MSG(cfg_.replica_count >= 1,
-                 "TopologyConfig.replica_count must be >= 1 (got " +
-                     std::to_string(cfg_.replica_count) + ")");
-  SW_EXPECTS_MSG(cfg_.replica_count % 2 == 1,
-                 "TopologyConfig.replica_count must be odd for median "
-                 "agreement (got " +
-                     std::to_string(cfg_.replica_count) + ")");
-  if (cfg_.policy == Policy::kStopWatch) {
-    SW_EXPECTS_MSG(
-        cfg_.replica_count <= cfg_.machine_count,
-        "TopologyConfig.replica_count (" +
-            std::to_string(cfg_.replica_count) +
-            ") cannot exceed machine_count (" +
-            std::to_string(cfg_.machine_count) +
-            "): replicas must land on distinct machines");
-  }
+  policy_->validate_replicas("TopologyConfig", cfg_.replica_count,
+                             cfg_.machine_count);
   // Eager mode reproduces the dense construction: machines (and their
   // network nodes) exist up front, then the egress node.
   if (cfg_.wiring == WiringMode::kEager) table_.materialize_all();
@@ -95,8 +80,8 @@ void TopologyBuilder::wire(std::uint32_t vm_index) {
   SW_ASSERT(!entry.wired);
   const int replicas = effective_replicas();
 
-  // Control and ingress multicast groups (StopWatch only).
-  if (cfg_.policy == Policy::kStopWatch && replicas > 1) {
+  // Control and ingress multicast groups (replicated policies only).
+  if (policy_->replicated() && replicas > 1) {
     entry.control_group =
         std::make_unique<net::MulticastGroup>(*net_, next_group_id_++);
     entry.ingress_group =
@@ -121,9 +106,9 @@ void TopologyBuilder::wire(std::uint32_t vm_index) {
     services.machine_node = table_.machine_node(m);
     services.egress_node = egress_node_;
     services.send_frame = [this, vm_index](net::Frame f) {
-      // Baseline guests emit output directly (no median gate), so the
-      // attacker-visible instant is this send; StopWatch outputs are
-      // tunneled and observed at their egress release instead.
+      // Non-tunneling guests emit output directly (no egress gate), so the
+      // attacker-visible instant is this send; tunneled outputs are
+      // observed at their egress release instead.
       if (egress_tap_) {
         if (const auto* gp =
                 std::get_if<net::GuestPacketPayload>(&f.payload)) {
@@ -309,7 +294,7 @@ void TopologyBuilder::on_ingress_packet(std::uint32_t vm_index,
                                         const net::Packet& pkt) {
   VmEntry& entry = vms_[vm_index];
   SW_ASSERT(entry.wired);  // on_addr_frame materialized lazy entries
-  if (cfg_.policy == Policy::kStopWatch && entry.ingress_group) {
+  if (entry.ingress_group) {
     net::IngressCopy copy;
     copy.vm = entry.id;
     copy.copy_seq = ++entry.ingress_seq;
@@ -317,7 +302,7 @@ void TopologyBuilder::on_ingress_packet(std::uint32_t vm_index,
     entry.ingress_group->send(entry.addr, copy,
                               pkt.size_bytes + net::kHeaderBytes);
   } else {
-    // Baseline: forward to the (single) hosting machine.
+    // Unreplicated: forward to the (single) hosting machine.
     net::Frame f;
     f.src = entry.addr;
     f.dst = table_.machine_node(entry.machines[0]);
@@ -364,18 +349,37 @@ void TopologyBuilder::on_egress_frame(const net::Frame& frame) {
   }
   ++slot.copies;
 
-  // Release on the ((r+1)/2)-th copy: the median emission timing.
-  const int release_at = (static_cast<int>(entry.replicas.size()) + 1) / 2;
+  // Gate on the policy's copy count ((r+1)/2 under StopWatch: the median
+  // emission timing; the sole copy elsewhere), then release after the
+  // policy's hold (0 = inline; Deterland holds to the next batch boundary,
+  // TifcPacing to the VM flow's next paced-queue slot).
+  const int release_at =
+      policy_->egress_release_copies(static_cast<int>(entry.replicas.size()));
   if (!slot.released && slot.copies >= release_at) {
     slot.released = true;
     ++entry.egress_stats.packets_released;
-    if (egress_tap_) egress_tap_(out->vm.value, sim_->now(), out->pkt);
-    net::Frame f;
-    f.src = egress_node_;
-    f.dst = out->pkt.dst;
-    f.size_bytes = out->pkt.size_bytes;
-    f.payload = net::GuestPacketPayload{out->pkt};
-    net_->send(std::move(f));
+    const Duration hold =
+        policy_->egress_release_delay(out->vm.value, sim_->now());
+    if (hold.ns <= 0) {
+      if (egress_tap_) egress_tap_(out->vm.value, sim_->now(), out->pkt);
+      net::Frame f;
+      f.src = egress_node_;
+      f.dst = out->pkt.dst;
+      f.size_bytes = out->pkt.size_bytes;
+      f.payload = net::GuestPacketPayload{out->pkt};
+      net_->send(std::move(f));
+    } else {
+      const std::uint32_t vm_index = out->vm.value;
+      sim_->schedule_after(hold, [this, vm_index, pkt = out->pkt] {
+        if (egress_tap_) egress_tap_(vm_index, sim_->now(), pkt);
+        net::Frame f;
+        f.src = egress_node_;
+        f.dst = pkt.dst;
+        f.size_bytes = pkt.size_bytes;
+        f.payload = net::GuestPacketPayload{pkt};
+        net_->send(std::move(f));
+      });
+    }
   }
   if (slot.copies >= static_cast<int>(entry.replicas.size())) {
     entry.egress_slots.erase(out->out_seq);

@@ -34,6 +34,7 @@
 
 #include "common/ids.hpp"
 #include "hypervisor/guest_context.hpp"
+#include "hypervisor/policy.hpp"
 #include "net/multicast.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -50,7 +51,7 @@ enum class WiringMode {
 
 struct TopologyConfig {
   std::uint64_t seed{1};
-  hypervisor::Policy policy{hypervisor::Policy::kStopWatch};
+  hypervisor::PolicyConfig policy{};
   int replica_count{3};
   int machine_count{1};
   int shard_size{64};
@@ -73,7 +74,9 @@ class TopologyBuilder {
   using ProgramFactory = std::function<std::unique_ptr<vm::GuestProgram>()>;
   /// Observer of egress packet releases — the attacker-visible event. Fires
   /// at the instant the egress forwards a guest output (the median emission
-  /// timing under StopWatch, the sole copy under baseline), for every VM.
+  /// timing under StopWatch, the sole copy under baseline, the batch
+  /// boundary under Deterland, the paced-queue slot under TifcPacing), for
+  /// every VM.
   using EgressTap =
       std::function<void(std::uint32_t vm, RealTime when, const net::Packet&)>;
 
@@ -113,8 +116,12 @@ class TopologyBuilder {
   // --- Introspection ---
 
   [[nodiscard]] int effective_replicas() const {
-    return cfg_.policy == hypervisor::Policy::kStopWatch ? cfg_.replica_count
-                                                         : 1;
+    return policy_->effective_replicas(cfg_.replica_count);
+  }
+  /// The mitigation backend governing this topology's routing and egress
+  /// release semantics.
+  [[nodiscard]] const hypervisor::MitigationPolicy& policy() const {
+    return *policy_;
   }
   [[nodiscard]] MachineTable& machines() { return table_; }
   [[nodiscard]] const MachineTable& machines() const { return table_; }
@@ -171,6 +178,8 @@ class TopologyBuilder {
   void on_egress_frame(const net::Frame& frame);
 
   TopologyConfig cfg_;
+  /// Built first: validation and every capability query go through it.
+  std::unique_ptr<hypervisor::MitigationPolicy> policy_;
   EgressTap egress_tap_;
   sim::Simulator* sim_;
   net::Network* net_;

@@ -94,12 +94,12 @@ TEST_P(AggregationSweep, AllRulesPreserveDeterminism) {
   CloudConfig cfg;
   cfg.seed = 5;
   cfg.machine_count = 3;
-  cfg.guest_template.aggregation = GetParam();
-  cfg.guest_template.leader_machine = 1;
+  cfg.policy.stopwatch.aggregation = GetParam();
+  cfg.policy.stopwatch.leader_machine = 1;
   // kMin adopts the earliest proposal, which may already have passed on
   // slower replicas (that is exactly why the paper rejects it); give it
   // headroom so the test isolates determinism.
-  cfg.guest_template.delta_n = Duration::millis(25);
+  cfg.policy.stopwatch.delta_n = Duration::millis(25);
   const RunResult r = run_probe_cloud(cfg, 3);
   EXPECT_TRUE(r.deterministic);
   EXPECT_GT(r.observations, 50u);
@@ -125,8 +125,8 @@ TEST(StopWatchProperties, EpochResyncKeepsAgreementOnCleanHosts) {
   CloudConfig cfg;
   cfg.seed = 11;
   cfg.machine_count = 3;
-  cfg.guest_template.epoch_resync = true;
-  cfg.guest_template.epoch_instr = 100'000'000;
+  cfg.policy.stopwatch.epoch_resync = true;
+  cfg.policy.stopwatch.epoch_instr = 100'000'000;
   const RunResult r = run_probe_cloud(cfg, 3, Duration::seconds(5));
   EXPECT_TRUE(r.deterministic);
   EXPECT_EQ(r.divergences, 0u);

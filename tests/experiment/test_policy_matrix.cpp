@@ -1,0 +1,123 @@
+// The policy_matrix scenario and the --param policy=... knob: registration,
+// the per-policy metric table, --jobs byte-identity, and the policy knob's
+// effect on the scenarios that declare it.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "experiment/registry.hpp"
+#include "experiment/result.hpp"
+#include "experiment/runner.hpp"
+#include "hypervisor/policy.hpp"
+
+namespace stopwatch::experiment {
+namespace {
+
+const std::vector<std::string> kChoices = {"baseline", "stopwatch",
+                                           "deterland", "tifc"};
+
+TEST(PolicyMatrix, RegisteredAndDeterministic) {
+  const Scenario* s = ScenarioRegistry::instance().find("policy_matrix");
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->deterministic);
+}
+
+/// One shared smoke run (the matrix runs eight clouds plus four channel
+/// simulations; sanitizer jobs should pay for it once).
+const Result& matrix_smoke_result() {
+  static const Result r = ScenarioRegistry::instance().run(
+      "policy_matrix", /*seed=*/7, /*smoke=*/true);
+  return r;
+}
+
+TEST(PolicyMatrix, EmitsTheFullTableForAllFourPolicies) {
+  const Result& r = matrix_smoke_result();
+  for (const std::string& c : kChoices) {
+    EXPECT_GT(r.metric("obs99_" + c), 0.0) << c;
+    EXPECT_GE(r.metric("bits_per_epoch_" + c), 0.0) << c;
+    EXPECT_GT(r.metric("latency_ms_" + c), 0.0) << c;
+    EXPECT_GT(r.metric("egress_releases_per_s_" + c), 0.0) << c;
+    // Overhead is relative to the baseline row, which itself is 0.
+    (void)r.metric("latency_overhead_" + c);
+  }
+  EXPECT_EQ(r.metric("latency_overhead_baseline"), 0.0);
+  // The headline ordering: StopWatch's replicated median makes detection
+  // strictly harder than unmodified Xen.
+  EXPECT_GT(r.metric("obs99_stopwatch"), r.metric("obs99_baseline"));
+}
+
+TEST(PolicyMatrix, JobsEightByteIdenticalToSequential) {
+  const auto& registry = ScenarioRegistry::instance();
+  std::vector<const Scenario*> selected = {registry.find("policy_matrix")};
+  ASSERT_NE(selected[0], nullptr);
+  const auto sequential =
+      run_scenarios(selected, {}, /*seed=*/9, /*smoke=*/true, /*jobs=*/1);
+  const auto parallel =
+      run_scenarios(selected, {}, /*seed=*/9, /*smoke=*/true, /*jobs=*/8);
+  ASSERT_EQ(sequential.size(), 1u);
+  ASSERT_EQ(parallel.size(), 1u);
+  ASSERT_TRUE(sequential[0].ok) << sequential[0].error;
+  ASSERT_TRUE(parallel[0].ok) << parallel[0].error;
+  EXPECT_EQ(sequential[0].result.to_json(), parallel[0].result.to_json());
+}
+
+TEST(PolicyKnob, DeclaredWithAllFourChoicesWhereRequired) {
+  const auto& registry = ScenarioRegistry::instance();
+  for (const std::string name :
+       {"fig4_interpacket", "leakage_capacity", "leakage_workloads"}) {
+    const Scenario* s = registry.find(name);
+    ASSERT_NE(s, nullptr) << name;
+    bool found = false;
+    for (const ParamSpec& p : s->params) {
+      if (p.name == "policy") {
+        found = true;
+        EXPECT_EQ(p.kind, ParamSpec::Kind::kEnum) << name;
+        EXPECT_EQ(p.default_choice, "stopwatch") << name;
+        EXPECT_EQ(p.choices_joined(), "baseline|stopwatch|deterland|tifc")
+            << name;
+      }
+    }
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST(PolicyKnob, SelectsTheMitigatedArm) {
+  // Short runs; the knob must change the mitigated arm's behaviour and
+  // stamp the JSON, while the default reproduces the stopwatch arm.
+  const auto& registry = ScenarioRegistry::instance();
+  const Result def = registry.run("fig4_interpacket", /*seed=*/5,
+                                  /*smoke=*/true, {{"run_time_s", "2"}});
+  const Result tifc =
+      registry.run("fig4_interpacket", /*seed=*/5, /*smoke=*/true,
+                   {{"run_time_s", "2"}, {"policy", "tifc"}});
+  EXPECT_NE(def.to_json().find("\"policy\": \"stopwatch\""),
+            std::string::npos);
+  EXPECT_NE(tifc.to_json().find("\"policy\": \"tifc\""), std::string::npos);
+  // TIFC delivers inbound packets immediately (real clock), so the
+  // mitigated arm's samples differ from the stopwatch arm's.
+  EXPECT_NE(tifc.metric("samples_stopwatch_victim"),
+            def.metric("samples_stopwatch_victim"));
+  EXPECT_THROW(static_cast<void>(registry.run(
+                   "fig4_interpacket", /*seed=*/5, /*smoke=*/true,
+                   {{"policy", "xen"}})),
+               ContractViolation);
+}
+
+TEST(PolicyKnob, WorkloadMetricNamesFollowTheChoice) {
+  const auto& registry = ScenarioRegistry::instance();
+  const Result r = registry.run(
+      "leakage_workloads", /*seed=*/7, /*smoke=*/true,
+      {{"trials_per_class", "3"}, {"parsec_trials", "2"},
+       {"nfs_rounds", "1"}, {"nfs_window_s", "0.3"},
+       {"policy", "deterland"}});
+  for (const std::string w : {"file", "nfs", "parsec"}) {
+    EXPECT_GE(r.metric("mi_bits_" + w + "_deterland"), 0.0) << w;
+    EXPECT_GT(r.metric("observations_" + w + "_baseline"), 0.0) << w;
+  }
+  EXPECT_GE(r.metric("max_deterland_mi"), 0.0);
+}
+
+}  // namespace
+}  // namespace stopwatch::experiment

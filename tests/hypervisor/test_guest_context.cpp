@@ -117,8 +117,8 @@ GuestContextConfig stopwatch_cfg() {
   GuestContextConfig cfg;
   cfg.policy = Policy::kStopWatch;
   cfg.replica_count = 3;
-  cfg.delta_n = Duration::millis(10);
-  cfg.delta_d = Duration::millis(12);
+  cfg.policy.stopwatch.delta_n = Duration::millis(10);
+  cfg.policy.stopwatch.delta_d = Duration::millis(12);
   return cfg;
 }
 
@@ -229,7 +229,7 @@ TEST(GuestContext, DiskDeliveredAtDeltaD) {
 
 TEST(GuestContext, DiskLateWhenDeltaDTooSmall) {
   GuestContextConfig cfg = stopwatch_cfg();
-  cfg.delta_d = Duration::millis(1);  // disk takes 3 ms seek
+  cfg.policy.stopwatch.delta_d = Duration::millis(1);  // disk takes 3 ms seek
   Harness h(cfg, [](vm::GuestApi& api) { api.disk_read(4096, [] {}); });
   h.start();
   h.sim.run_until(RealTime::millis(30));
@@ -294,7 +294,7 @@ TEST(GuestContext, BaselineDeliversAfterProcessingDelay) {
 
 TEST(GuestContext, ThrottleStallsFastestReplica) {
   GuestContextConfig cfg = stopwatch_cfg();
-  cfg.max_replica_gap = Duration::millis(2);
+  cfg.policy.stopwatch.max_replica_gap = Duration::millis(2);
   Harness h(cfg);
   h.start();
   // Peers report virtual times far behind ours.
@@ -322,10 +322,10 @@ TEST(GuestContext, ThrottleStallsFastestReplica) {
 
 TEST(GuestContext, EpochReportsEmittedAndClockRebased) {
   GuestContextConfig cfg = stopwatch_cfg();
-  cfg.epoch_resync = true;
-  cfg.epoch_instr = 10'000'000;  // 10 ms epochs
-  cfg.slope_min = 0.5;
-  cfg.slope_max = 2.0;
+  cfg.policy.stopwatch.epoch_resync = true;
+  cfg.policy.stopwatch.epoch_instr = 10'000'000;  // 10 ms epochs
+  cfg.policy.stopwatch.slope_min = 0.5;
+  cfg.policy.stopwatch.slope_max = 2.0;
   Harness h(cfg);
   h.start();
 

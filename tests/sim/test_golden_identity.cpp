@@ -8,10 +8,11 @@
 // hypervisor, topology, workload, and leakage layers.
 //
 // If a FUTURE behaviour-changing PR (new model, retuned constants) breaks
-// these on purpose, regenerate the files by writing each scenario's
-// Result::to_json() plus a trailing newline — and say so in the PR.
+// these on purpose, regenerate the files by running this test with
+// STOPWATCH_UPDATE_GOLDEN=1 in the environment — and say so in the PR.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -44,8 +45,14 @@ TEST(GoldenIdentity, ScenariosMatchPreRefactorBytes) {
     ASSERT_NE(registry.find(name), nullptr) << name;
     const Result result = registry.run(name, /*seed=*/7, /*smoke=*/true);
     const std::string got = result.to_json() + "\n";
-    const std::string want =
-        read_file(std::string(STOPWATCH_GOLDEN_DIR) + "/" + name + ".json");
+    const std::string path =
+        std::string(STOPWATCH_GOLDEN_DIR) + "/" + name + ".json";
+    if (std::getenv("STOPWATCH_UPDATE_GOLDEN") != nullptr) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << got;
+      continue;
+    }
+    const std::string want = read_file(path);
     EXPECT_EQ(got, want) << name
                          << ": output diverged from the pre-refactor golden";
   }

@@ -16,7 +16,9 @@ core::CloudConfig parsec_config(core::Policy policy, std::uint64_t seed = 9) {
   cfg.machine_count = 3;
   cfg.machine_template.disk_seek_min = Duration::micros(500);
   cfg.machine_template.disk_seek_max = Duration::millis(3);
-  cfg.guest_template.delta_d = Duration::millis(9);
+  if (hypervisor::policy_replicated(policy)) {
+    cfg.policy.stopwatch.delta_d = Duration::millis(9);
+  }
   return cfg;
 }
 

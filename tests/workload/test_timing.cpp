@@ -74,7 +74,7 @@ TEST(VictimServer, DeterministicAcrossReplicasDespiteDisk) {
   core::CloudConfig cfg;
   cfg.seed = 10;
   cfg.machine_count = 3;
-  cfg.guest_template.delta_d = Duration::millis(30);
+  cfg.policy.stopwatch.delta_d = Duration::millis(30);
   core::Cloud cloud(cfg);
   const NodeId sink = cloud.add_external_node("sink", [](const net::Packet&) {});
   VictimServerProgram::Config vc;
