@@ -1,5 +1,6 @@
 #include "core/cloud.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -29,6 +30,17 @@ void validate(const CloudConfig& cfg) {
                      std::to_string(cfg.clock_offset_spread.ns) + " ns)");
 }
 
+/// Validates the shard knob before the kernel is constructed (the sharded
+/// kernel is a constructor-initialized member, so this runs first).
+sim::ShardedConfig sharded_config(const CloudConfig& cfg) {
+  SW_EXPECTS_MSG(cfg.sim_shards >= 1,
+                 "CloudConfig.sim_shards must be >= 1 (got " +
+                     std::to_string(cfg.sim_shards) + ")");
+  sim::ShardedConfig sc;
+  sc.shards = cfg.sim_shards;
+  return sc;
+}
+
 topology::TopologyConfig topology_config(const CloudConfig& cfg) {
   topology::TopologyConfig tc;
   tc.seed = cfg.seed;
@@ -46,11 +58,15 @@ topology::TopologyConfig topology_config(const CloudConfig& cfg) {
 }  // namespace
 
 Cloud::Cloud(CloudConfig cfg)
-    : cfg_(cfg), root_rng_(cfg.seed), net_(sim_, root_rng_.fork(0xF00D)) {
+    : cfg_(cfg),
+      root_rng_(cfg.seed),
+      sharded_(sharded_config(cfg)),
+      net_(sharded_.shard(0), root_rng_.fork(0xF00D)) {
   validate(cfg_);
+  net_.attach_sharded(sharded_);
   net_.set_default_link(cfg_.cloud_link);
-  topo_ = std::make_unique<topology::TopologyBuilder>(sim_, net_,
-                                                      topology_config(cfg_));
+  topo_ = std::make_unique<topology::TopologyBuilder>(
+      sharded_.shard(0), net_, topology_config(cfg_));
 }
 
 VmHandle Cloud::add_vm(std::string name, const ProgramFactory& factory,
@@ -88,9 +104,42 @@ void Cloud::start() {
   topo_->start();
 }
 
+void Cloud::activate_sharded(const std::vector<VmHandle>& driven) {
+  std::vector<std::uint32_t> indices;
+  indices.reserve(driven.size());
+  for (const VmHandle vm : driven) indices.push_back(vm.index);
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  std::vector<std::vector<int>> groups;
+  groups.reserve(indices.size());
+  for (const std::uint32_t vm : indices) {
+    groups.push_back(topo_->vm_machines(vm));
+  }
+  topo_->attach_sharding(
+      sharded_,
+      topology::ShardPlan::build(cfg_.sim_shards, cfg_.machine_count, groups),
+      indices);
+}
+
 void Cloud::run_for(Duration d) {
   SW_EXPECTS(started_);
-  sim_.run_until(sim_.now() + d);
+  if (sharded_.shard_count() > 1) {
+    SW_EXPECTS_MSG(
+        topo_->shard_plan().shards() == sharded_.shard_count(),
+        "sim_shards > 1 requires activate_sharded() before run_for");
+    // Conservative lookahead: every cross-shard frame takes at least the
+    // network's minimum-latency floor, so windows that long always land
+    // cross events at or beyond the next barrier.
+    Duration window = net_.min_latency_floor();
+    if (cfg_.shard_window.ns > 0) {
+      window = std::min(window, cfg_.shard_window);
+    }
+    SW_EXPECTS_MSG(window.ns > 0,
+                   "shard-parallel run needs a positive lookahead window "
+                   "(a zero-latency link defeats conservative windowing)");
+    sharded_.set_window(window);
+  }
+  sharded_.run_until(sharded_.now() + d);
 }
 
 void Cloud::halt_all() { topo_->halt_all(); }

@@ -50,8 +50,10 @@
 #include "hypervisor/guest_context.hpp"
 #include "hypervisor/machine.hpp"
 #include "net/network.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "topology/builder.hpp"
+#include "topology/shard_plan.hpp"
 #include "vm/guest.hpp"
 
 namespace stopwatch::core {
@@ -85,6 +87,15 @@ struct CloudConfig {
   net::LinkModel client_link{Duration::millis(3), 0.20, 2.5e6, 0.0};
   /// Machine clock offsets drawn uniformly from [0, spread).
   Duration clock_offset_spread{Duration::millis(40)};
+  /// Simulator cores. 1 = the sequential kernel. >1 enables shard-parallel
+  /// execution once activate_sharded() partitions the active VMs across
+  /// cores; scenario output stays byte-identical to sim_shards=1.
+  int sim_shards{1};
+  /// Barrier window override for shard-parallel runs. <= 0 (the default)
+  /// derives the window from the network's minimum-latency floor — the
+  /// conservative-lookahead bound; a positive value only ever clamps it
+  /// further down (diagnostics / barrier-stress testing).
+  Duration shard_window{};
 };
 
 /// Opaque handle to a guest VM in the cloud.
@@ -131,6 +142,15 @@ class Cloud {
   /// Forces materialization of a lazily wired VM (idempotent).
   void materialize(VmHandle vm) { topo_->materialize(vm.index); }
 
+  /// Declares `driven` the activation set and partitions it across the
+  /// configured sim_shards cores (whole shares-a-machine components per
+  /// core — see topology::ShardPlan), pre-wiring every listed VM in index
+  /// order and locking the set. Required before run_for when sim_shards >
+  /// 1; valid (and the same code path, so outputs stay comparable) when
+  /// sim_shards == 1. Requires WiringMode::kLazy and must run before
+  /// start().
+  void activate_sharded(const std::vector<VmHandle>& driven);
+
   /// Installs (or clears) the egress release observer — the hook the
   /// leakage subsystem's TimingTap uses to record attacker-visible egress
   /// timings (see src/leakage/timing_tap.hpp).
@@ -143,7 +163,15 @@ class Cloud {
 
   // --- Introspection ---
 
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  /// Shard 0's core — the home of every external node, the egress, and
+  /// (unsharded) everything else. Client-side drivers schedule here.
+  [[nodiscard]] sim::Simulator& simulator() { return sharded_.shard(0); }
+  /// The sharded kernel itself (shard_count() == 1 unless configured up).
+  [[nodiscard]] sim::ShardedSimulator& sharded() { return sharded_; }
+  /// Events executed across all cores.
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return sharded_.events_executed();
+  }
   [[nodiscard]] net::Network& network() { return net_; }
   [[nodiscard]] topology::TopologyBuilder& topology() { return *topo_; }
   [[nodiscard]] hypervisor::Machine& machine(int idx);
@@ -170,7 +198,7 @@ class Cloud {
  private:
   CloudConfig cfg_;
   Rng root_rng_;
-  sim::Simulator sim_;
+  sim::ShardedSimulator sharded_;
   net::Network net_;
   std::unique_ptr<topology::TopologyBuilder> topo_;
   bool started_{false};

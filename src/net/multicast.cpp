@@ -60,7 +60,9 @@ void MulticastGroup::arm_spm(NodeId from) {
   SenderState& snd = senders_[from.value];
   if (snd.spm_armed) return;
   snd.spm_armed = true;
-  sim::Simulator& sim = net_->simulator();
+  // The SPM chain belongs to the sending node: its timer must live on the
+  // sender's owning shard so the group's state stays shard-confined.
+  sim::Simulator& sim = net_->simulator_for(from);
   if (snd.spm_event && sim.is_executing(*snd.spm_event)) {
     // Re-armed from inside the SPM timer itself: reuse its arena slot.
     sim.reschedule_after(*snd.spm_event, spm_interval_);
@@ -146,7 +148,8 @@ void MulticastGroup::maybe_schedule_nak(MemberState& m, NodeId sender,
                                         MemberState::RxState& rx) {
   if (rx.nak_scheduled) return;
   rx.nak_scheduled = true;
-  sim::Simulator& sim = net_->simulator();
+  // NAK timers fire on the receiving member's shard.
+  sim::Simulator& sim = net_->simulator_for(m.node);
   if (rx.nak_event && sim.is_executing(*rx.nak_event)) {
     // Re-armed from the tail of the NAK timer itself (NAK or retransmission
     // may be lost): reuse its arena slot.

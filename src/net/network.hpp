@@ -5,8 +5,19 @@
 // egress nodes, and external clients all attach here. Per-pair link models
 // can be overridden (e.g., a slow "wireless client" hop as in the paper's
 // evaluation; fast intra-cloud links for VMM-to-VMM proposal traffic).
+//
+// Shard awareness: every node has an owner shard (default 0). With a
+// sim::ShardedSimulator attached, a frame between same-owner nodes is
+// scheduled directly on the owner's core, while a frame crossing shards
+// goes through the sharded kernel's deterministic (source shard,
+// destination shard) lanes. Stochastic draws (loss, jitter) come from a
+// per-node RNG stream forked from the fabric seed by node id — so the
+// draw sequence a node sees is a function of its own traffic only, never
+// of global send interleaving. That is what keeps an N-shard run
+// byte-identical to the sequential one.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -18,6 +29,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "net/frame.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 
 namespace stopwatch::net {
@@ -27,11 +39,18 @@ struct LinkModel {
   /// Fixed propagation delay.
   Duration base_latency{Duration::micros(100)};
   /// Lognormal jitter: multiplier exp(N(0, sigma)) applied to base latency.
+  /// The multiplier is clamped below at exp(-6 sigma) — a ~1e-9 tail event
+  /// — which gives every link a hard latency floor of
+  /// base_latency * exp(-6 sigma), the lookahead bound the sharded
+  /// simulator's barrier window relies on.
   double jitter_sigma{0.1};
   /// Link rate in bytes per second (serialization delay = size / rate).
   double bytes_per_second{125e6};  // 1 Gbps
   /// Independent per-frame loss probability.
   double loss_probability{0.0};
+
+  /// Guaranteed minimum propagation delay under the jitter clamp.
+  [[nodiscard]] Duration min_latency() const;
 };
 
 /// Statistics kept per node.
@@ -49,11 +68,24 @@ class Network {
 
   Network(sim::Simulator& sim, Rng rng) : sim_(&sim), rng_(std::move(rng)) {}
 
+  /// Routes frames through a sharded kernel: same-owner traffic schedules
+  /// on the owner's core, cross-owner traffic through the merge lanes.
+  /// The attached kernel's shard 0 replaces the construction-time
+  /// simulator as the default core (owners default to 0).
+  void attach_sharded(sim::ShardedSimulator& sharded);
+
   /// Registers a node; the handler is invoked on frame arrival.
   NodeId add_node(std::string name, Handler handler);
 
   /// Replaces a node's handler (used when wiring mutually dependent parts).
   void set_handler(NodeId node, Handler handler);
+
+  /// Assigns the shard that owns a node's events (default 0). Must not be
+  /// called while the sharded kernel is mid-window.
+  void set_node_owner(NodeId node, int shard);
+  [[nodiscard]] int node_owner(NodeId node_id) const {
+    return node(node_id).owner;
+  }
 
   /// Sets the link model for the (src -> dst) direction.
   void set_link(NodeId src, NodeId dst, LinkModel model);
@@ -69,6 +101,12 @@ class Network {
   /// Default model for pairs without an explicit link.
   void set_default_link(LinkModel model) { default_link_ = model; }
 
+  /// Minimum guaranteed latency over every link model registered so far
+  /// (pair links, node links, and the default) — the lookahead bound: no
+  /// frame sent at t can arrive before t + min_latency_floor(). The
+  /// sharded barrier window must not exceed it.
+  [[nodiscard]] Duration min_latency_floor() const;
+
   /// Sends a frame; delivery is scheduled on the simulator. Returns false if
   /// the frame was dropped by the loss model.
   bool send(Frame frame);
@@ -77,9 +115,15 @@ class Network {
   [[nodiscard]] const std::string& name(NodeId node) const;
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  /// The simulator core that owns a node's events.
+  [[nodiscard]] sim::Simulator& simulator_for(NodeId node_id) {
+    return core_for(node(node_id).owner);
+  }
 
   /// Total frames dropped by loss models (diagnostics).
-  [[nodiscard]] std::uint64_t frames_dropped() const { return frames_dropped_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return frames_dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Node {
@@ -88,13 +132,23 @@ class Network {
     NodeStats stats;
     /// Earliest time the node's uplink is free (serialization queueing).
     RealTime tx_free{};
+    /// Per-node stochastic stream: loss and jitter draws for frames this
+    /// node sends. Forked from the fabric RNG by node id, so the stream
+    /// is independent of other nodes' traffic (and of shard count).
+    Rng rng;
+    /// Shard whose core runs this node's events.
+    int owner{0};
   };
 
   [[nodiscard]] const LinkModel& link_for(NodeId src, NodeId dst) const;
   Node& node(NodeId id);
   const Node& node(NodeId id) const;
+  [[nodiscard]] sim::Simulator& core_for(int owner) {
+    return sharded_ ? sharded_->shard(owner) : *sim_;
+  }
 
   sim::Simulator* sim_;
+  sim::ShardedSimulator* sharded_{nullptr};
   Rng rng_;
   /// Deque, not vector: handlers may register new nodes mid-delivery (lazy
   /// replica wiring materializes on first traffic), and a deque keeps the
@@ -103,7 +157,9 @@ class Network {
   std::map<std::pair<std::uint32_t, std::uint32_t>, LinkModel> links_;
   std::map<std::uint32_t, LinkModel> node_links_;
   LinkModel default_link_{};
-  std::uint64_t frames_dropped_{0};
+  /// Atomic: loss draws happen on the owning shard's worker, and two
+  /// shards can drop concurrently within a window.
+  std::atomic<std::uint64_t> frames_dropped_{0};
 };
 
 }  // namespace stopwatch::net

@@ -1,0 +1,206 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/thread_pool.hpp"
+
+namespace stopwatch::sim {
+
+ShardedSimulator::ShardedSimulator(ShardedConfig cfg) : cfg_(cfg) {
+  SW_EXPECTS(cfg_.shards >= 1);
+  SW_EXPECTS(cfg_.window.ns > 0);
+  cores_.reserve(static_cast<std::size_t>(cfg_.shards));
+  for (int s = 0; s < cfg_.shards; ++s) {
+    cores_.push_back(std::make_unique<Simulator>());
+  }
+  const auto k = static_cast<std::size_t>(cfg_.shards);
+  lanes_.resize(k * k);
+  lane_seq_.assign(k, 0);
+  if (cfg_.shards > 1 && cfg_.threads != 1) {
+    const std::size_t threads = cfg_.threads == 0 ? k : cfg_.threads;
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+void ShardedSimulator::set_window(Duration w) {
+  SW_EXPECTS(!running_);
+  SW_EXPECTS(w.ns > 0);
+  cfg_.window = w;
+}
+
+Simulator& ShardedSimulator::shard(int s) {
+  SW_EXPECTS(s >= 0 && s < cfg_.shards);
+  return *cores_[static_cast<std::size_t>(s)];
+}
+
+const Simulator& ShardedSimulator::shard(int s) const {
+  SW_EXPECTS(s >= 0 && s < cfg_.shards);
+  return *cores_[static_cast<std::size_t>(s)];
+}
+
+void ShardedSimulator::cross_schedule(int src, int dst, RealTime at, Task cb) {
+  SW_EXPECTS(src >= 0 && src < cfg_.shards);
+  SW_EXPECTS(dst >= 0 && dst < cfg_.shards);
+  if (!running_) {
+    // Single-threaded context (setup between runs): no lane needed, the
+    // destination core's own (time, sequence) order is deterministic.
+    cores_[static_cast<std::size_t>(dst)]->schedule_at(at, std::move(cb));
+    return;
+  }
+  // Lookahead contract: inside a window every cross-shard timestamp must
+  // land at or beyond the next barrier, else the destination shard may
+  // already have run past it.
+  SW_EXPECTS_MSG(at.ns >= window_end_ns_,
+                 "cross-shard event at t=" + std::to_string(at.ns) +
+                     "ns lands before the window barrier at t=" +
+                     std::to_string(window_end_ns_) +
+                     "ns; shrink the window to the cross-shard lookahead");
+  auto& lane = lanes_[static_cast<std::size_t>(src) *
+                          static_cast<std::size_t>(cfg_.shards) +
+                      static_cast<std::size_t>(dst)];
+  lane.entries.push_back(
+      {at.ns, ++lane_seq_[static_cast<std::size_t>(src)], src, dst,
+       std::move(cb)});
+}
+
+void ShardedSimulator::set_lane_drain_order(std::vector<int> order) {
+  SW_EXPECTS(!running_);
+  if (!order.empty()) {
+    const auto k = static_cast<std::size_t>(cfg_.shards);
+    SW_EXPECTS(order.size() == k * k);
+    std::vector<int> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      SW_EXPECTS(sorted[i] == static_cast<int>(i));
+    }
+  }
+  drain_order_ = std::move(order);
+}
+
+std::size_t ShardedSimulator::lane_backlog() const {
+  std::size_t n = 0;
+  for (const auto& lane : lanes_) n += lane.entries.size();
+  return n;
+}
+
+bool ShardedSimulator::merge_lanes(std::int64_t inclusive_ns) {
+  merge_scratch_.clear();
+  if (drain_order_.empty()) {
+    for (auto& lane : lanes_) {
+      for (auto& e : lane.entries) merge_scratch_.push_back(std::move(e));
+      lane.entries.clear();
+    }
+  } else {
+    for (int idx : drain_order_) {
+      auto& lane = lanes_[static_cast<std::size_t>(idx)];
+      for (auto& e : lane.entries) merge_scratch_.push_back(std::move(e));
+      lane.entries.clear();
+    }
+  }
+  if (merge_scratch_.empty()) return false;
+  // The deterministic merge rule: timestamp, then source shard, then the
+  // source's sequence number. seq is unique per source, so this is a
+  // total order — the drain order above cannot leak through the sort.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const LaneEntry& a, const LaneEntry& b) {
+              if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  crossed_ += merge_scratch_.size();
+  bool any_due = false;
+  for (auto& e : merge_scratch_) {
+    any_due = any_due || e.at_ns <= inclusive_ns;
+    cores_[static_cast<std::size_t>(e.dst)]->schedule_at(
+        RealTime::nanos(e.at_ns), std::move(e.task));
+  }
+  merge_scratch_.clear();
+  return any_due;
+}
+
+void ShardedSimulator::run_window(RealTime run_to, std::int64_t end_ns) {
+  window_end_ns_ = end_ns;
+  running_ = true;
+  // Callbacks may throw (contract violations): catch per core, re-raise
+  // on the main thread after the barrier — exceptions must not escape
+  // into the pool's workers.
+  std::vector<std::exception_ptr> errors(cores_.size());
+  if (pool_) {
+    for (std::size_t s = 0; s < cores_.size(); ++s) {
+      Simulator* core = cores_[s].get();
+      std::exception_ptr* slot = &errors[s];
+      pool_->submit([core, run_to, slot] {
+        try {
+          core->run_until(run_to);
+        } catch (...) {
+          *slot = std::current_exception();
+        }
+      });
+    }
+    pool_->wait_idle();
+  } else {
+    for (std::size_t s = 0; s < cores_.size(); ++s) {
+      try {
+        cores_[s]->run_until(run_to);
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    }
+  }
+  running_ = false;
+  ++barriers_;
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void ShardedSimulator::run_until(RealTime t) {
+  SW_EXPECTS(!running_);
+  if (cfg_.shards == 1) {
+    cores_[0]->run_until(t);
+    return;
+  }
+  std::int64_t base = now().ns;
+  SW_EXPECTS(t.ns >= base);
+  bool done = false;
+  while (!done) {
+    // Idle fast-path: with no pending events anywhere and no lane
+    // backlog, no event can materialize before t — jump the clocks.
+    if (pending() == 0) {
+      for (auto& core : cores_) core->run_until(t);
+      break;
+    }
+    const std::int64_t end = std::min(t.ns, base + cfg_.window.ns);
+    const bool final_window = end == t.ns;
+    // Non-final windows stop strictly before the barrier so an event at
+    // exactly `end` orders after any cross-shard entry merged for `end`.
+    const RealTime run_to = RealTime::nanos(final_window ? end : end - 1);
+    run_window(run_to, end);
+    // A cross-shard entry can land exactly at t during the final window;
+    // run_until(t) is inclusive, so re-run the window until none does.
+    const bool rerun = merge_lanes(run_to.ns);
+    if (hook_) hook_(RealTime::nanos(end));
+    base = end;
+    done = final_window && !rerun;
+  }
+}
+
+std::uint64_t ShardedSimulator::events_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& core : cores_) n += core->events_executed();
+  return n;
+}
+
+std::size_t ShardedSimulator::pending() const {
+  std::size_t n = lane_backlog();
+  for (const auto& core : cores_) n += core->pending();
+  return n;
+}
+
+}  // namespace stopwatch::sim

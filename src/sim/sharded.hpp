@@ -1,0 +1,162 @@
+// Shard-parallel deterministic event execution (conservative PDES).
+//
+// A ShardedSimulator owns K independent sim::Simulator cores — each with
+// its own timer wheel and slab arena — and runs them on a ThreadPool in
+// barrier-synchronized windows. The protocol is the classic conservative
+// one, specialized to this codebase's topology:
+//
+//  * Event ownership is static: every event belongs to exactly one shard
+//    (derived upstream from the machine index a VM lives on), and a
+//    shard's events touch only shard-confined state. Within a window the
+//    K cores therefore share nothing and run fully in parallel.
+//  * A window spans [B, B + window). Each core executes its events with
+//    timestamp <= B + window - 1ns, then all cores meet at a barrier
+//    (ThreadPool::wait_idle).
+//  * An event that must run on another shard (a cross-shard frame
+//    delivery) is not scheduled directly — the sender enqueues it into
+//    the (source-shard, destination-shard) lane via cross_schedule().
+//    Lanes are single-writer per source shard, so enqueueing is lock-free
+//    by construction.
+//  * At the barrier the main thread drains every lane and schedules the
+//    entries into their destination cores in one deterministic order:
+//    (timestamp, source shard, per-source sequence number). The order is
+//    a pure function of simulation content — worker completion order,
+//    thread count, and lane drain order cannot affect it.
+//
+// Correctness requires the lookahead contract: every cross-shard entry's
+// timestamp must lie at or beyond the *next* barrier, i.e. the window
+// must not exceed the minimum cross-shard latency (enforced per entry by
+// a contract check). Under that contract the sharded run executes the
+// same events at the same timestamps as a sequential run; ties between
+// cross-shard and shard-local events at the exact same nanosecond are the
+// only place orderings could differ, and the jittered links that feed the
+// lanes make exact ties measure-zero (the differential tests check this
+// empirically).
+//
+// shards == 1 bypasses the machinery entirely (direct run_until on the
+// single core, zero overhead), which is what makes `sim_shards=1` output
+// the byte-identical reference for `sim_shards=N`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace stopwatch {
+class ThreadPool;
+}  // namespace stopwatch
+
+namespace stopwatch::sim {
+
+struct ShardedConfig {
+  /// Number of independent simulator cores (>= 1).
+  int shards{1};
+  /// Barrier window width. Must be positive and no larger than the
+  /// minimum cross-shard event latency (the lookahead). The topology
+  /// layer derives this from the link models; tests set it directly.
+  Duration window{Duration::micros(100)};
+  /// Worker threads: 0 means one per shard. 1 runs every window inline
+  /// on the calling thread (same results — useful for debugging).
+  std::size_t threads{0};
+};
+
+/// K simulator cores + deterministic cross-shard lanes + barrier loop.
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(ShardedConfig cfg);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] int shard_count() const { return cfg_.shards; }
+  [[nodiscard]] Duration window() const { return cfg_.window; }
+  /// Adjusts the barrier window. Must not be called mid-run.
+  void set_window(Duration w);
+
+  [[nodiscard]] Simulator& shard(int s);
+  [[nodiscard]] const Simulator& shard(int s) const;
+
+  /// Barrier-aligned current time: every core sits at this time between
+  /// run_until calls.
+  [[nodiscard]] RealTime now() const { return shard(0).now(); }
+
+  /// Hands an event from shard `src` to shard `dst` for time `at`. Safe
+  /// to call from shard `src`'s worker thread during a window (lanes are
+  /// single-writer per source). The lookahead contract requires `at` to
+  /// be at or beyond the next barrier; violations throw.
+  void cross_schedule(int src, int dst, RealTime at, Task cb);
+
+  /// Runs all cores to exactly `t` through barrier-synchronized windows.
+  /// On return every core's clock reads `t` and every lane entry with
+  /// timestamp <= t has executed on its destination core.
+  void run_until(RealTime t);
+
+  /// True while worker threads are inside a window — shared-state
+  /// mutation from the main thread is illegal then.
+  [[nodiscard]] bool running() const { return running_; }
+
+  // --- Aggregate introspection (sum over cores) ---
+  [[nodiscard]] std::uint64_t events_executed() const;
+  [[nodiscard]] std::size_t pending() const;
+  /// Total entries handed across shards via cross_schedule.
+  [[nodiscard]] std::uint64_t cross_scheduled() const { return crossed_; }
+  /// Barriers executed (windows run) so far.
+  [[nodiscard]] std::uint64_t barriers() const { return barriers_; }
+
+  // --- Test hooks ---
+  /// Invoked single-threaded after each barrier merge with the barrier
+  /// time. The differential tests snapshot per-shard state here.
+  using BarrierHook = std::function<void(RealTime barrier_time)>;
+  void set_barrier_hook(BarrierHook hook) { hook_ = std::move(hook); }
+  /// Permutes the order lanes are drained in at the merge (indices into
+  /// the flattened src*K+dst lane array). The merge result must not
+  /// depend on it — the merge-stability test sets adversarial orders.
+  void set_lane_drain_order(std::vector<int> order);
+
+ private:
+  struct LaneEntry {
+    std::int64_t at_ns;
+    std::uint64_t seq;  // per-source-shard, monotonically increasing
+    int src;
+    int dst;
+    Task task;
+  };
+  struct Lane {
+    std::vector<LaneEntry> entries;
+  };
+
+  /// Drains and merge-schedules every lane; returns true if any entry
+  /// landed at or before `inclusive_ns` (only possible at a final
+  /// window, where it forces a re-run).
+  bool merge_lanes(std::int64_t inclusive_ns);
+  /// One barrier window: runs every core to `run_to` on the pool (or
+  /// inline), collecting callback exceptions for re-raise on this thread.
+  void run_window(RealTime run_to, std::int64_t end_ns);
+  [[nodiscard]] std::size_t lane_backlog() const;
+
+  ShardedConfig cfg_;
+  std::vector<std::unique_ptr<Simulator>> cores_;
+  /// Flattened [src * shards + dst]; each lane is written only by its
+  /// source shard's worker during a window, drained only at barriers.
+  std::vector<Lane> lanes_;
+  /// Per-source-shard sequence counters (worker-confined like the lanes).
+  std::vector<std::uint64_t> lane_seq_;
+  std::vector<int> drain_order_;
+  std::unique_ptr<ThreadPool> pool_;
+  BarrierHook hook_;
+  std::uint64_t crossed_{0};
+  std::uint64_t barriers_{0};
+  bool running_{false};
+  /// Set while a window's workers run; cross_schedule validates its
+  /// timestamps against this (the next barrier).
+  std::int64_t window_end_ns_{0};
+  std::vector<LaneEntry> merge_scratch_;
+};
+
+}  // namespace stopwatch::sim

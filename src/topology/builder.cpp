@@ -75,9 +75,29 @@ std::uint32_t TopologyBuilder::add_vm(std::string name, ProgramFactory factory,
   return vm_index;
 }
 
+sim::Simulator& TopologyBuilder::core_of_machine(int machine) {
+  if (sharded_ == nullptr) return *sim_;
+  return sharded_->shard(plan_.shard_of_machine(machine));
+}
+
 void TopologyBuilder::wire(std::uint32_t vm_index) {
   VmEntry& entry = vms_[vm_index];
   SW_ASSERT(!entry.wired);
+  SW_EXPECTS_MSG(!activation_locked_,
+                 "VM '" + entry.name +
+                     "' is outside the sharded activation set: traffic "
+                     "reached a VM that attach_sharding did not "
+                     "pre-materialize, and wiring it now would build "
+                     "machines from a worker thread mid-window");
+  if (sharded_ != nullptr) {
+    // The plan clusters a VM's machine triple into one component, so all
+    // replicas — and the synchronous machine calls between them — live on
+    // a single core.
+    const int owner = plan_.shard_of_machine(entry.machines.front());
+    for (int m : entry.machines) {
+      SW_ASSERT(plan_.shard_of_machine(m) == owner);
+    }
+  }
   const int replicas = effective_replicas();
 
   // Control and ingress multicast groups (replicated policies only).
@@ -102,17 +122,19 @@ void TopologyBuilder::wire(std::uint32_t vm_index) {
     gc.policy = cfg_.policy;
     gc.replica_count = replicas;
 
+    sim::Simulator& core = core_of_machine(m);
     hypervisor::ReplicaServices services;
     services.machine_node = table_.machine_node(m);
     services.egress_node = egress_node_;
-    services.send_frame = [this, vm_index](net::Frame f) {
+    services.send_frame = [this, vm_index, owner = &core](net::Frame f) {
       // Non-tunneling guests emit output directly (no egress gate), so the
       // attacker-visible instant is this send; tunneled outputs are
-      // observed at their egress release instead.
+      // observed at their egress release instead. The timestamp must come
+      // from the replica's own core: this lambda runs on its worker thread.
       if (egress_tap_) {
         if (const auto* gp =
                 std::get_if<net::GuestPacketPayload>(&f.payload)) {
-          egress_tap_(vm_index, sim_->now(), gp->pkt);
+          egress_tap_(vm_index, owner->now(), gp->pkt);
         }
       }
       net_->send(std::move(f));
@@ -128,7 +150,7 @@ void TopologyBuilder::wire(std::uint32_t vm_index) {
 
     auto ctx = std::make_unique<hypervisor::GuestContext>(
         entry.id, ReplicaIndex{static_cast<std::uint32_t>(r)}, entry.addr,
-        table_.machine(m), *sim_, gc, entry.factory(), entry.det_seed,
+        table_.machine(m), core, gc, entry.factory(), entry.det_seed,
         std::move(services));
 
     if (entry.control_group) {
@@ -179,17 +201,23 @@ void TopologyBuilder::boot(VmEntry& entry) {
 void TopologyBuilder::start() {
   SW_EXPECTS(!started_);
   started_ = true;
-  // One boot batch per machine shard: a shard of wired VMs costs one
-  // simulator arena slot instead of one per VM, and each boot thunk is a
-  // 16-byte capture riding the batch vector's storage.
-  std::map<int, std::vector<sim::Task>> batches;
+  // One boot batch per (owner core, machine shard): a shard of wired VMs
+  // costs one simulator arena slot instead of one per VM, each boot thunk
+  // a 16-byte capture riding the batch vector's storage, and each batch
+  // lands on the core that owns the booting replicas. Unsharded, the key
+  // degenerates to (0, table shard) — the seed batching, byte for byte.
+  std::map<std::pair<int, int>, std::vector<sim::Task>> batches;
   for (std::uint32_t i = 0; i < vms_.size(); ++i) {
     if (!vms_[i].wired || vms_[i].booted) continue;
-    const int shard = table_.shard_of(vms_[i].machines.front());
-    batches[shard].push_back([this, i] { boot(vms_[i]); });
+    const int machine = vms_[i].machines.front();
+    const int owner = sharded_ != nullptr ? plan_.shard_of_machine(machine) : 0;
+    batches[{owner, table_.shard_of(machine)}].push_back(
+        [this, i] { boot(vms_[i]); });
   }
-  for (auto& [shard, batch] : batches) {
-    sim_->schedule_batch(sim_->now(), std::move(batch));
+  for (auto& [key, batch] : batches) {
+    sim::Simulator& core =
+        sharded_ != nullptr ? sharded_->shard(key.first) : *sim_;
+    core.schedule_batch(core.now(), std::move(batch));
   }
 }
 
@@ -205,6 +233,48 @@ void TopologyBuilder::materialize(std::uint32_t vm) {
   if (entry.wired) return;  // idempotent: replays never re-wire
   wire(vm);
   if (started_) boot(vms_[vm]);
+}
+
+void TopologyBuilder::attach_sharding(
+    sim::ShardedSimulator& sharded, ShardPlan plan,
+    const std::vector<std::uint32_t>& active_vms) {
+  SW_EXPECTS_MSG(cfg_.wiring == WiringMode::kLazy,
+                 "attach_sharding requires WiringMode::kLazy: eager mode "
+                 "materializes every machine on one core in the constructor");
+  SW_EXPECTS(!started_ && !activation_locked_);
+  SW_EXPECTS_MSG(table_.materialized_machines() == 0,
+                 "attach_sharding must run before any machine materializes");
+  SW_EXPECTS_MSG(plan.shards() == sharded.shard_count(),
+                 "shard plan built for a different shard count");
+  SW_EXPECTS_MSG(!egress_tap_ || sharded.shard_count() == 1,
+                 "egress tap is incompatible with shard_count > 1: replica "
+                 "sends would fire it concurrently from worker threads");
+  sharded_ = &sharded;
+  plan_ = std::move(plan);
+  table_.set_sharding(sharded_, &plan_);
+
+  // Wire the activation set in index order — deterministic regardless of
+  // the order the caller discovered the VMs in — then lock it.
+  std::vector<std::uint32_t> ordered(active_vms);
+  std::sort(ordered.begin(), ordered.end());
+  ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
+  for (const std::uint32_t vm : ordered) {
+    SW_EXPECTS(vm < vms_.size());
+    if (!vms_[vm].wired) wire(vm);
+    // The VM's ingress address delivers on the shard hosting its replicas,
+    // keeping the whole ingress -> replicate -> deliver path one-core.
+    net_->set_node_owner(vms_[vm].addr,
+                         plan_.shard_of_machine(vms_[vm].machines.front()));
+  }
+  activation_locked_ = true;
+}
+
+void TopologyBuilder::set_egress_tap(EgressTap tap) {
+  SW_EXPECTS_MSG(tap == nullptr || sharded_ == nullptr ||
+                     sharded_->shard_count() == 1,
+                 "egress tap is incompatible with shard_count > 1: replica "
+                 "sends would fire it concurrently from worker threads");
+  egress_tap_ = std::move(tap);
 }
 
 bool TopologyBuilder::materialized(std::uint32_t vm) const {

@@ -37,8 +37,10 @@
 #include "hypervisor/policy.hpp"
 #include "net/multicast.hpp"
 #include "net/network.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "topology/machine_table.hpp"
+#include "topology/shard_plan.hpp"
 #include "vm/guest.hpp"
 
 namespace stopwatch::topology {
@@ -105,10 +107,23 @@ class TopologyBuilder {
   /// path relies on.
   void materialize(std::uint32_t vm);
 
+  /// Switches the topology to shard-parallel execution: every machine (and
+  /// every VM whose replicas it hosts) is built on the simulator core the
+  /// plan assigns it, and the listed VMs — the activation set — are wired
+  /// up front, in index order. Afterwards the set is LOCKED: traffic
+  /// reaching a VM outside it would have to materialize machines from a
+  /// worker thread mid-window, so that path throws instead. Requires
+  /// WiringMode::kLazy with nothing materialized yet (eager mode builds
+  /// everything on one core in the constructor), and no egress tap when
+  /// shard_count > 1 (the tap would fire concurrently from worker threads).
+  void attach_sharding(sim::ShardedSimulator& sharded, ShardPlan plan,
+                       const std::vector<std::uint32_t>& active_vms);
+
   /// Installs (or, with nullptr, removes) the egress release observer used
   /// by the leakage subsystem's TimingTap. At most one tap is active; the
-  /// tap sees releases of every VM and filters by index itself.
-  void set_egress_tap(EgressTap tap) { egress_tap_ = std::move(tap); }
+  /// tap sees releases of every VM and filters by index itself. Rejected
+  /// when sharded across >1 core: replica sends fire it from worker threads.
+  void set_egress_tap(EgressTap tap);
   [[nodiscard]] bool has_egress_tap() const {
     return static_cast<bool>(egress_tap_);
   }
@@ -144,6 +159,9 @@ class TopologyBuilder {
   /// egress hash mismatches.
   [[nodiscard]] std::uint64_t total_divergences() const;
   [[nodiscard]] const TopologyConfig& config() const { return cfg_; }
+  /// The machine-to-core assignment (trivial one-shard plan until
+  /// attach_sharding installs a real one).
+  [[nodiscard]] const ShardPlan& shard_plan() const { return plan_; }
 
  private:
   struct VmEntry {
@@ -172,6 +190,8 @@ class TopologyBuilder {
 
   void wire(std::uint32_t vm_index);
   void boot(VmEntry& entry);
+  /// The simulator core that owns `machine` (sim_ when unsharded).
+  [[nodiscard]] sim::Simulator& core_of_machine(int machine);
   void on_addr_frame(std::uint32_t vm_index, const net::Frame& frame);
   void on_ingress_packet(std::uint32_t vm_index, const net::Packet& pkt);
   void on_machine_frame(int machine_idx, const net::Frame& frame);
@@ -182,6 +202,11 @@ class TopologyBuilder {
   std::unique_ptr<hypervisor::MitigationPolicy> policy_;
   EgressTap egress_tap_;
   sim::Simulator* sim_;
+  sim::ShardedSimulator* sharded_{nullptr};
+  ShardPlan plan_;
+  /// Set by attach_sharding once the activation set is wired: any further
+  /// wire() is a contract violation (see attach_sharding).
+  bool activation_locked_{false};
   net::Network* net_;
   MachineTable table_;
   NodeId egress_node_{};

@@ -33,6 +33,13 @@ MachineTable::MachineTable(sim::Simulator& sim, net::Network& net,
   shards_.resize(static_cast<std::size_t>(shards));
 }
 
+void MachineTable::set_sharding(sim::ShardedSimulator* sharded,
+                                const ShardPlan* plan) {
+  SW_EXPECTS((sharded == nullptr) == (plan == nullptr));
+  sharded_ = sharded;
+  plan_ = plan;
+}
+
 int MachineTable::shard_of(int machine) const {
   SW_EXPECTS(machine >= 0 && machine < cfg_.machine_count);
   return machine / cfg_.shard_size;
@@ -66,11 +73,18 @@ void MachineTable::materialize_shard(int shard) {
         kMachineRngTag + static_cast<std::uint64_t>(idx);
     const std::uint64_t rng_seed = SplitMix64(cfg_.seed ^ tag).next();
     Slot& sl = s.slots[static_cast<std::size_t>(k)];
+    // Under a shard plan the machine's event core — and its network
+    // node's owner — is the plan's assignment; a machine stays a pure
+    // function of (seed, index) either way.
+    const int owner = plan_ != nullptr ? plan_->shard_of_machine(idx) : 0;
+    sim::Simulator& core =
+        sharded_ != nullptr ? sharded_->shard(owner) : *sim_;
     sl.machine = std::make_unique<hypervisor::Machine>(
-        MachineId{static_cast<std::uint32_t>(idx)}, *sim_, mc, Rng(rng_seed));
+        MachineId{static_cast<std::uint32_t>(idx)}, core, mc, Rng(rng_seed));
     sl.node = net_->add_node(
         "machine-" + std::to_string(idx),
         [this, idx](const net::Frame& f) { on_frame_(idx, f); });
+    if (sharded_ != nullptr) net_->set_node_owner(sl.node, owner);
   }
   s.materialized = true;
   ++materialized_shards_;

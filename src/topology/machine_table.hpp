@@ -20,7 +20,9 @@
 #include "common/time.hpp"
 #include "hypervisor/machine.hpp"
 #include "net/network.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
+#include "topology/shard_plan.hpp"
 
 namespace stopwatch::topology {
 
@@ -44,6 +46,12 @@ class MachineTable {
 
   MachineTable(const MachineTable&) = delete;
   MachineTable& operator=(const MachineTable&) = delete;
+
+  /// Routes future materializations through the sharded kernel: each
+  /// machine is built on (and its network node owned by) the simulator
+  /// core the plan assigns it. Must be called before any affected shard
+  /// materializes; both referents must outlive the table.
+  void set_sharding(sim::ShardedSimulator* sharded, const ShardPlan* plan);
 
   [[nodiscard]] int machine_count() const { return cfg_.machine_count; }
   [[nodiscard]] int shard_size() const { return cfg_.shard_size; }
@@ -86,6 +94,8 @@ class MachineTable {
   [[nodiscard]] Slot& slot(int machine);
 
   sim::Simulator* sim_;
+  sim::ShardedSimulator* sharded_{nullptr};
+  const ShardPlan* plan_{nullptr};
   net::Network* net_;
   MachineTableConfig cfg_;
   FrameHandler on_frame_;

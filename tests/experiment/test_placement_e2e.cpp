@@ -80,6 +80,30 @@ TEST(PlacementE2e, JobsZeroByteIdenticalToSequential) {
   EXPECT_EQ(report_of(sequential), report_of(parallel));
 }
 
+TEST(PlacementE2e, ShardCountsByteIdentical) {
+  // The PR 7 tentpole guarantee end to end: the same cloud on four
+  // simulator cores serializes to exactly the bytes of the sequential run
+  // — only the stamped sim_shards parameter may differ.
+  const auto run_with = [](const std::string& shards) {
+    Result r = ScenarioRegistry::instance().run(
+        "placement_e2e", /*seed=*/11, /*smoke=*/true,
+        {{"machines", "99"},
+         {"driven_vms", "8"},
+         {"run_time_s", "0.4"},
+         {"pair_samples", "2000"},
+         {"sim_shards", shards}});
+    std::string json = r.to_json();
+    const std::string stamp = "\"sim_shards\": " + shards;
+    const std::size_t at = json.find(stamp);
+    EXPECT_NE(at, std::string::npos) << json.substr(0, 400);
+    json.replace(at, stamp.size(), "\"sim_shards\": _");
+    return json;
+  };
+  const std::string one = run_with("1");
+  const std::string four = run_with("4");
+  EXPECT_EQ(one, four);
+}
+
 TEST(PlacementE2e, GreedyPlacementModeRunsArbitraryN) {
   // The enum knob switches the construction; greedy handles n not ≡ 3
   // (mod 6) where Theorem 2 does not apply.
