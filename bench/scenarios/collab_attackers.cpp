@@ -46,8 +46,14 @@ Result run(const ScenarioContext& ctx) {
   std::vector<double> replicas;
   std::vector<double> marginalized;
   std::vector<double> obs99;
+  // The marginalization attack targets replica agreement, but the sweep
+  // runs under any backend (--param policy=...): non-replicated ones show
+  // a flat curve, the control the countermeasure rows compare against.
+  const hypervisor::PolicyKind policy =
+      hypervisor::policy_kind_from_choice(ctx.param_choice("policy"));
   for (const Row& row : rows) {
     TimingScenarioConfig tc;
+    tc.policy = policy;
     tc.replica_count = row.replicas;
     tc.run_time = Duration::seconds(ctx.param("run_time_s"));
     tc.seed = ctx.seed() ^ 91;
@@ -80,7 +86,7 @@ Result run(const ScenarioContext& ctx) {
                ParamSpec{"marginalize_load",
                          "induced load on marginalized hosts", 2.0}
                    .with_range(0, 100),
-               binning_param()},
+               binning_param(), policy_param()},
     .deterministic = true,
     .run = run,
 }};

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/cloud.hpp"
 #include "experiment/registry.hpp"
 #include "stats/summary.hpp"
@@ -69,6 +70,11 @@ Result run(const ScenarioContext& ctx) {
   const auto app_count = std::min(
       static_cast<std::size_t>(ctx.param_int("app_count")), suite.size());
   const int runs = ctx.param_int("runs_per_app");
+  // The mitigated arm is selectable (--param policy=...); the comparison
+  // arm is always unmodified Xen. Metric names keep the historical
+  // "stopwatch" labels for the mitigated arm regardless of the choice.
+  const core::Policy mitigated =
+      hypervisor::policy_kind_from_choice(ctx.param_choice("policy"));
 
   Result result("fig7_parsec");
   double worst_ratio = 0.0;
@@ -76,8 +82,7 @@ Result run(const ScenarioContext& ctx) {
     const auto& spec = suite[i];
     const AppResult base =
         run_app(spec, core::Policy::kBaselineXen, runs, ctx.seed() + 1000);
-    const AppResult sw =
-        run_app(spec, core::Policy::kStopWatch, runs, ctx.seed() + 1000);
+    const AppResult sw = run_app(spec, mitigated, runs, ctx.seed() + 1000);
     const double ratio = sw.avg_runtime_ms / base.avg_runtime_ms;
     worst_ratio = std::max(worst_ratio, ratio);
     result.add_metric(spec.name + "_baseline_runtime", base.avg_runtime_ms,
@@ -105,7 +110,8 @@ Result run(const ScenarioContext& ctx) {
     .params = {ParamSpec{"app_count", "apps from the PARSEC-like suite", 5.0,
                          2.0}.with_int_range(1, 5),
                ParamSpec{"runs_per_app", "runs averaged per app", 5.0, 1.0}
-                   .with_int_range(1, 100)},
+                   .with_int_range(1, 100),
+               policy_param()},
     .deterministic = true,
     .run = run,
 }};

@@ -281,6 +281,10 @@ Result run(const ScenarioContext& ctx) {
       "packet, run on exactly their assigned machines, and the sampled "
       "co-residence probability matches the occupancy-exact value within "
       "25% relative error.");
+  // Kernel/fabric/policy counters for the `observability` block. Several
+  // of them (barrier counts, placement of events in the wheel) legitimately
+  // depend on sim_shards; cross-shard-count comparisons strip the block.
+  result.set_observability(cloud.observability());
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "core/cloud.hpp"
 
 #include <algorithm>
+#include <array>
 #include <string>
 #include <utility>
 
@@ -67,6 +68,36 @@ Cloud::Cloud(CloudConfig cfg)
   net_.set_default_link(cfg_.cloud_link);
   topo_ = std::make_unique<topology::TopologyBuilder>(
       sharded_.shard(0), net_, topology_config(cfg_));
+  // Histograms exist up front (worker threads record into them); counters
+  // are copied in at observability() time.
+  net_.set_bytes_histogram(registry_.histogram("net.frame_bytes"));
+  sharded_.set_merge_histogram(registry_.histogram("sharded.merge_batch"));
+  if (obs::TraceRecorder* trace = obs::active_trace()) {
+    // Execution-machinery tracks are inherently shard-dependent, so they
+    // carry Category::kParallel and stay out of the default export.
+    for (int s = 0; s < sharded_.shard_count(); ++s) {
+      std::string tname = "core-";
+      tname += std::to_string(s);
+      obs::TraceTrack* track =
+          trace->track(900 + static_cast<std::uint32_t>(s), 0, "sim-kernel",
+                       std::move(tname), obs::Category::kParallel);
+      kernel_sinks_.push_back(std::make_unique<obs::KernelCounterSink>(track));
+      sharded_.shard(s).set_trace_sink(kernel_sinks_.back().get());
+    }
+    if (sharded_.shard_count() > 1) {
+      barrier_track_ = trace->track(800, 0, "parallel", "barriers",
+                                    obs::Category::kParallel);
+      sharded_.set_barrier_hook([this](RealTime barrier_time) {
+        if (prev_barrier_ns_ >= 0 && barrier_time.ns > prev_barrier_ns_) {
+          barrier_track_->complete(prev_barrier_ns_,
+                                   barrier_time.ns - prev_barrier_ns_,
+                                   "window", "crossed",
+                                   sharded_.cross_scheduled());
+        }
+        prev_barrier_ns_ = barrier_time.ns;
+      });
+    }
+  }
 }
 
 VmHandle Cloud::add_vm(std::string name, const ProgramFactory& factory,
@@ -169,6 +200,64 @@ bool Cloud::replicas_deterministic(VmHandle vm) const {
 
 std::uint64_t Cloud::total_divergences() const {
   return topo_->total_divergences();
+}
+
+obs::Snapshot Cloud::observability() {
+  // Names of the FramePayload alternatives, in variant-index order.
+  static constexpr std::array<const char*, net::Network::kFrameClasses>
+      kClassNames = {"guest_packet", "ingress_copy",    "proposal",
+                     "sync_beacon",  "epoch_report",    "tunneled_output",
+                     "mcast_nak",    "mcast_spm"};
+
+  sim::KernelStats kernel{};
+  for (int s = 0; s < sharded_.shard_count(); ++s) {
+    const sim::KernelStats& ks = sharded_.shard(s).kernel_stats();
+    kernel.scheduled += ks.scheduled;
+    kernel.cancelled += ks.cancelled;
+    kernel.rescheduled += ks.rescheduled;
+    kernel.heap_fallbacks += ks.heap_fallbacks;
+    kernel.placed_due += ks.placed_due;
+    kernel.placed_wheel += ks.placed_wheel;
+    kernel.placed_far += ks.placed_far;
+    kernel.arena_chunks += ks.arena_chunks;
+  }
+  registry_.set_counter("sim.events_scheduled", kernel.scheduled);
+  registry_.set_counter("sim.events_cancelled", kernel.cancelled);
+  registry_.set_counter("sim.events_rescheduled", kernel.rescheduled);
+  registry_.set_counter("sim.events_executed", sharded_.events_executed());
+  registry_.set_counter("sim.heap_fallbacks", kernel.heap_fallbacks);
+  registry_.set_counter("sim.placed_due", kernel.placed_due);
+  registry_.set_counter("sim.placed_wheel", kernel.placed_wheel);
+  registry_.set_counter("sim.placed_far", kernel.placed_far);
+  registry_.set_counter("sim.arena_chunks", kernel.arena_chunks);
+
+  registry_.set_counter("sharded.shards",
+                        static_cast<std::uint64_t>(sharded_.shard_count()));
+  registry_.set_counter("sharded.barriers", sharded_.barriers());
+  registry_.set_counter("sharded.cross_scheduled", sharded_.cross_scheduled());
+  registry_.set_counter("sharded.max_merge_batch", sharded_.max_merge_batch());
+
+  for (std::size_t c = 0; c < net::Network::kFrameClasses; ++c) {
+    registry_.set_counter(std::string("net.frames_sent.") + kClassNames[c],
+                          net_.frames_sent_of_class(c));
+  }
+  registry_.set_counter("net.frames_dropped", net_.frames_dropped());
+
+  const hypervisor::PolicyStats policy = topo_->aggregate_policy_stats();
+  registry_.set_counter("policy.deliveries_quantized",
+                        policy.deliveries_quantized);
+  registry_.set_counter("policy.egress_releases", policy.egress_releases);
+  registry_.set_counter("policy.replica_aggregations",
+                        policy.replica_aggregations);
+
+  registry_.set_counter("topology.vms",
+                        static_cast<std::uint64_t>(topo_->vm_count()));
+  registry_.set_counter(
+      "topology.materialized_vms",
+      static_cast<std::uint64_t>(topo_->materialized_vm_count()));
+  registry_.set_counter("topology.divergences", topo_->total_divergences());
+
+  return registry_.snapshot();
 }
 
 }  // namespace stopwatch::core

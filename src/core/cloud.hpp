@@ -50,6 +50,8 @@
 #include "hypervisor/guest_context.hpp"
 #include "hypervisor/machine.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "topology/builder.hpp"
@@ -195,12 +197,29 @@ class Cloud {
   /// Sum of divergence counters across all replicas of all VMs.
   [[nodiscard]] std::uint64_t total_divergences() const;
 
+  /// End-of-run metrics snapshot: kernel counters summed over cores,
+  /// sharded-execution stats, per-class frame counts, policy decision
+  /// counters, and the frame-size / merge-batch histograms. Intended for a
+  /// Result's `observability` block — call once after run_for.
+  [[nodiscard]] obs::Snapshot observability();
+
  private:
   CloudConfig cfg_;
   Rng root_rng_;
   sim::ShardedSimulator sharded_;
   net::Network net_;
   std::unique_ptr<topology::TopologyBuilder> topo_;
+  /// Owns every named metric of this cloud; histograms are created in the
+  /// constructor (single-threaded) and recorded into concurrently.
+  obs::Registry registry_;
+  /// Kernel execution-counter bridges, one per core, alive for the
+  /// cloud's lifetime (the cores hold raw pointers). Only populated when
+  /// a trace session is active at construction.
+  std::vector<std::unique_ptr<obs::KernelCounterSink>> kernel_sinks_;
+  /// Barrier-window trace track (kParallel) + previous barrier time for
+  /// span construction. Null / unset when tracing is off.
+  obs::TraceTrack* barrier_track_{nullptr};
+  std::int64_t prev_barrier_ns_{-1};
   bool started_{false};
 };
 

@@ -103,6 +103,36 @@ std::string Result::to_json(int indent) const {
   if (!note_.empty()) {
     out += ",\n" + p1 + "\"note\": " + json_string(note_);
   }
+
+  if (!observability_.empty()) {
+    out += ",\n" + p1 + "\"observability\": {\n";
+    out += p2 + "\"counters\": {";
+    for (std::size_t i = 0; i < observability_.counters.size(); ++i) {
+      const auto& [name, value] = observability_.counters[i];
+      out += (i == 0 ? "\n" : ",\n") + p3 + json_string(name) + ": " +
+             json_number(value);
+    }
+    out += observability_.counters.empty() ? "}" : "\n" + p2 + "}";
+    if (!observability_.histograms.empty()) {
+      out += ",\n" + p2 + "\"histograms\": {";
+      for (std::size_t i = 0; i < observability_.histograms.size(); ++i) {
+        const auto& [name, h] = observability_.histograms[i];
+        out += (i == 0 ? "\n" : ",\n") + p3 + json_string(name) +
+               ": {\"count\": " + json_number(h.count) +
+               ", \"sum\": " + json_number(h.sum) +
+               ", \"max\": " + json_number(h.max) + ", \"buckets\": [";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+          if (b != 0) out += ", ";
+          out += "[" +
+                 json_number(static_cast<std::uint64_t>(h.buckets[b].first)) +
+                 ", " + json_number(h.buckets[b].second) + "]";
+        }
+        out += "]}";
+      }
+      out += "\n" + p2 + "}";
+    }
+    out += "\n" + p1 + "}";
+  }
   out += "\n" + p0 + "}";
   return out;
 }

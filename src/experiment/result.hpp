@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace stopwatch::experiment {
 
 /// One named scalar measurement (e.g. "obs_needed_at_99", unit
@@ -42,6 +44,15 @@ class Result {
                            const std::vector<double>& values);
   /// Free-text observation, e.g. the paper shape check the scenario verifies.
   void set_note(std::string note) { note_ = std::move(note); }
+  /// Attaches the end-of-run metrics-registry snapshot; serialized as the
+  /// `observability` block. Tooling that compares results across runs
+  /// (stopwatch_bench_diff, the parallel-identity CI lane) ignores it.
+  void set_observability(obs::Snapshot snapshot) {
+    observability_ = std::move(snapshot);
+  }
+  [[nodiscard]] const obs::Snapshot& observability() const {
+    return observability_;
+  }
 
   [[nodiscard]] const std::string& scenario() const { return scenario_; }
   [[nodiscard]] const std::vector<Metric>& metrics() const { return metrics_; }
@@ -73,6 +84,7 @@ class Result {
   std::vector<Metric> metrics_;
   std::vector<Series> series_;
   std::string note_;
+  obs::Snapshot observability_;
 };
 
 /// A full runner invocation: one Result per executed scenario, wrapped with

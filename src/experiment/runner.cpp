@@ -15,6 +15,7 @@
 #include "common/thread_pool.hpp"
 #include "experiment/json.hpp"
 #include "experiment/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace stopwatch::experiment {
 
@@ -34,6 +35,13 @@ constexpr std::string_view kUsage =
     "  --param <k=v>        override a scenario parameter (applies to each\n"
     "                       selected scenario that declares <k>)\n"
     "  --json <path>        write results as JSON to <path>\n"
+    "  --trace <path>       record a sim-time trace of the (single) selected\n"
+    "                       scenario as Chrome/Perfetto trace-event JSON\n"
+    "  --trace-parallel     include shard-machinery tracks (barrier windows,\n"
+    "                       per-core kernel counters) in the trace; these\n"
+    "                       vary with sim_shards, unlike the default export\n"
+    "  --metrics            print each result's observability counters and\n"
+    "                       histograms (scenarios that embed them)\n"
     "  --quiet              suppress per-metric human-readable output\n";
 
 bool parse_u64(std::string_view s, std::uint64_t& out) {
@@ -73,6 +81,25 @@ void print_result(const Result& result) {
   }
   if (!result.note().empty()) {
     std::printf("  note: %s\n", result.note().c_str());
+  }
+}
+
+void print_observability(const Result& result) {
+  const obs::Snapshot& snap = result.observability();
+  if (snap.empty()) {
+    std::printf("  (no observability block: scenario does not embed one)\n");
+    return;
+  }
+  std::printf("  observability counters:\n");
+  for (const auto& [name, value] : snap.counters) {
+    std::printf("    %-36s %20llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::printf("    %-36s count=%llu sum=%llu max=%llu\n", name.c_str(),
+                static_cast<unsigned long long>(h.count),
+                static_cast<unsigned long long>(h.sum),
+                static_cast<unsigned long long>(h.max));
   }
 }
 
@@ -201,6 +228,14 @@ bool parse_runner_options(int argc, const char* const* argv,
       std::string_view v;
       if (!next_value(arg, v)) return false;
       options.json_path = std::string(v);
+    } else if (arg == "--trace") {
+      std::string_view v;
+      if (!next_value(arg, v)) return false;
+      options.trace_path = std::string(v);
+    } else if (arg == "--trace-parallel") {
+      options.trace_parallel = true;
+    } else if (arg == "--metrics") {
+      options.metrics = true;
     } else if (arg == "--param") {
       std::string_view v;
       if (!next_value(arg, v)) return false;
@@ -334,6 +369,32 @@ int run_cli(int argc, const char* const* argv) {
     }
   }
 
+  if (options.trace_parallel && options.trace_path.empty()) {
+    std::fprintf(stderr, "error: --trace-parallel requires --trace <path>\n");
+    return 2;
+  }
+  std::ofstream trace_out;
+  obs::TraceRecorder trace;
+  if (!options.trace_path.empty()) {
+    // The trace session is a process-wide recorder the scenario's cloud
+    // captures at construction, so one trace maps to one scenario run.
+    if (selected.size() != 1) {
+      std::fprintf(stderr,
+                   "error: --trace requires exactly one selected scenario "
+                   "(got %zu)\n",
+                   selected.size());
+      return 2;
+    }
+    trace_out.open(options.trace_path, std::ios::binary);
+    if (!trace_out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   options.trace_path.c_str());
+      return 2;
+    }
+    obs::set_active_trace(&trace);
+    trace.arm();
+  }
+
   const OutcomeCallback print_outcome = [&](const ScenarioOutcome& outcome,
                                             std::size_t) {
     if (!outcome.ok) {
@@ -343,15 +404,31 @@ int run_cli(int argc, const char* const* argv) {
     }
     if (!options.quiet) {
       print_result(outcome.result);
+      if (options.metrics) print_observability(outcome.result);
       std::printf("  [%.2fs wall]\n\n", outcome.elapsed_s);
     } else {
       std::printf("%-24s done in %.2fs\n", outcome.name.c_str(),
                   outcome.elapsed_s);
+      if (options.metrics) print_observability(outcome.result);
     }
   };
   const std::vector<ScenarioOutcome> outcomes =
       run_scenarios(selected, overrides, options.seed, options.smoke,
                     options.jobs, print_outcome);
+
+  if (!options.trace_path.empty()) {
+    trace.disarm();
+    obs::set_active_trace(nullptr);
+    trace_out << trace.export_json(options.trace_parallel);
+    trace_out.close();
+    if (!trace_out) {
+      std::fprintf(stderr, "error: failed writing '%s'\n",
+                   options.trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace event(s) to %s\n", trace.event_count(),
+                options.trace_path.c_str());
+  }
 
   std::vector<Result> results;
   results.reserve(outcomes.size());

@@ -31,6 +31,16 @@ struct RunnerOptions {
   /// choices.
   std::vector<std::pair<std::string, std::string>> param_overrides;
   std::string json_path;
+  /// Chrome/Perfetto trace-event JSON output path. Requires exactly one
+  /// selected scenario (the trace session is process-wide).
+  std::string trace_path;
+  /// Include shard-execution-machinery tracks (barrier windows, per-core
+  /// kernel counters) in the trace. These are inherently shard-dependent,
+  /// so the default export omits them to keep traces byte-identical
+  /// across sim_shards.
+  bool trace_parallel{false};
+  /// Print each result's observability counters/histograms as a table.
+  bool metrics{false};
 };
 
 /// Parses argv into options. Returns false (with a message on `error`) on

@@ -51,6 +51,7 @@ int MitigationPolicy::egress_release_copies(int /*wired_replicas*/) const {
 
 Duration MitigationPolicy::egress_release_delay(std::uint32_t /*vm*/,
                                                 RealTime /*now*/) {
+  ++stats_.egress_releases;
   return {};
 }
 

@@ -131,12 +131,30 @@ struct PolicyConfig {
   bool operator==(const PolicyConfig&) const = default;
 };
 
+/// Decision counters every backend keeps (observability; surfaced in the
+/// Result JSON's `observability` block). Each counter ticks in the method
+/// that makes the corresponding decision, whichever backend implements it.
+struct PolicyStats {
+  /// Inbound deliveries whose visible time was quantized/deferred away
+  /// from the physical arrival (Deterland batch boundaries).
+  std::uint64_t deliveries_quantized{0};
+  /// egress_release_delay() calls — one per release-gate decision.
+  std::uint64_t egress_releases{0};
+  /// combine_proposals() calls — one per replica-agreement round.
+  std::uint64_t replica_aggregations{0};
+};
+
 /// One mitigation backend. Stateless except where noted
 /// (egress_release_delay); one instance per GuestContext and one per
 /// TopologyBuilder, all built by make_policy() from the same PolicyConfig.
 class MitigationPolicy {
  public:
   virtual ~MitigationPolicy() = default;
+
+  /// Decision counters accumulated by this instance. Each instance is
+  /// confined to one shard's core, so plain (non-atomic) counters are
+  /// safe; aggregation across instances happens at scenario end.
+  [[nodiscard]] const PolicyStats& stats() const { return stats_; }
 
   [[nodiscard]] virtual PolicyKind kind() const = 0;
   /// Stable lowercase identifier ("baseline", "stopwatch", "deterland",
@@ -224,6 +242,11 @@ class MitigationPolicy {
   /// (0 = none). Capability consumed by scenarios that model the channel
   /// analytically (leakage_capacity).
   [[nodiscard]] virtual Duration release_quantum() const { return {}; }
+
+ protected:
+  /// Mutable: several decision methods are const (they compute times
+  /// without changing policy behaviour) but still count as decisions.
+  mutable PolicyStats stats_;
 };
 
 /// Builds the backend selected by `cfg.kind`, validating the per-backend

@@ -47,11 +47,13 @@ class DeterlandPolicy final : public MitigationPolicy {
 
   [[nodiscard]] std::int64_t direct_delivery(
       std::int64_t /*arrival_local*/, std::int64_t guest_now) const override {
+    ++stats_.deliveries_quantized;
     return quantize_up(guest_now + cfg_.delta_n.ns, cfg_.batch_quantum.ns);
   }
 
   [[nodiscard]] std::int64_t disk_delivery(
       std::int64_t guest_now, std::int64_t /*done_local*/) const override {
+    ++stats_.deliveries_quantized;
     return quantize_up(guest_now + cfg_.delta_d.ns, cfg_.batch_quantum.ns);
   }
   [[nodiscard]] bool deterministic_disk_deadline() const override {
@@ -60,6 +62,7 @@ class DeterlandPolicy final : public MitigationPolicy {
 
   [[nodiscard]] Duration egress_release_delay(std::uint32_t /*vm*/,
                                               RealTime now) override {
+    ++stats_.egress_releases;
     const std::int64_t q = cfg_.batch_quantum.ns;
     return Duration{(q - now.ns % q) % q};
   }

@@ -51,6 +51,7 @@ class StopWatchPolicy final : public MitigationPolicy {
   [[nodiscard]] std::int64_t combine_proposals(
       const std::map<std::uint32_t, std::int64_t>& by_machine) const override {
     SW_EXPECTS(!by_machine.empty());
+    ++stats_.replica_aggregations;
     std::vector<std::int64_t> vals;
     vals.reserve(by_machine.size());
     for (const auto& [machine, v] : by_machine) vals.push_back(v);

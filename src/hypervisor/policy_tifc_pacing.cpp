@@ -44,6 +44,7 @@ class TifcPacingPolicy final : public MitigationPolicy {
 
   [[nodiscard]] Duration egress_release_delay(std::uint32_t vm,
                                               RealTime now) override {
+    ++stats_.egress_releases;
     const std::int64_t q = cfg_.release_quantum.ns;
     // Grid-align, then keep FIFO spacing of at least one quantum within
     // the VM's flow (the paced-queue drain rate).

@@ -107,6 +107,9 @@ bool Network::send(Frame frame) {
 
   src.stats.frames_sent += 1;
   src.stats.bytes_sent += frame.size_bytes;
+  frames_by_class_[frame.payload.index()].fetch_add(
+      1, std::memory_order_relaxed);
+  if (bytes_hist_ != nullptr) bytes_hist_->record(frame.size_bytes);
 
   if (link.loss_probability > 0.0 && src.rng.chance(link.loss_probability)) {
     frames_dropped_.fetch_add(1, std::memory_order_relaxed);

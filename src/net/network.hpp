@@ -17,18 +17,21 @@
 // byte-identical to the sequential one.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <string>
+#include <variant>
 
 #include "common/contracts.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "net/frame.hpp"
+#include "obs/metrics.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 
@@ -125,6 +128,26 @@ class Network {
     return frames_dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Number of FramePayload alternatives — the frame-class axis of the
+  /// per-class send counters.
+  static constexpr std::size_t kFrameClasses =
+      std::variant_size_v<FramePayload>;
+
+  /// Frames sent carrying the payload alternative at `payload_index`
+  /// (the FramePayload variant index). Includes frames later dropped by
+  /// the loss model — the counter classifies offered traffic.
+  [[nodiscard]] std::uint64_t frames_sent_of_class(
+      std::size_t payload_index) const {
+    SW_EXPECTS(payload_index < kFrameClasses);
+    return frames_by_class_[payload_index].load(std::memory_order_relaxed);
+  }
+
+  /// Installs (or, with nullptr, removes) a histogram receiving every
+  /// sent frame's size in bytes. The histogram's commutative atomic
+  /// buckets are what make one shared instance safe here: send() runs
+  /// concurrently on different shards' workers.
+  void set_bytes_histogram(obs::Histogram* hist) { bytes_hist_ = hist; }
+
  private:
   struct Node {
     std::string name;
@@ -160,6 +183,9 @@ class Network {
   /// Atomic: loss draws happen on the owning shard's worker, and two
   /// shards can drop concurrently within a window.
   std::atomic<std::uint64_t> frames_dropped_{0};
+  /// Per-payload-class send counts (same concurrency story as above).
+  std::array<std::atomic<std::uint64_t>, kFrameClasses> frames_by_class_{};
+  obs::Histogram* bytes_hist_{nullptr};
 };
 
 }  // namespace stopwatch::net

@@ -1,0 +1,40 @@
+#include "obs/metrics.hpp"
+
+namespace stopwatch::obs {
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) snap.buckets.emplace_back(i, n);
+  }
+  return snap;
+}
+
+Histogram* Registry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void Registry::set_counter(const std::string& name, std::uint64_t value) {
+  counters_[name] = value;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    snap.counters.emplace_back(name, value);
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace_back(name, hist->snapshot());
+  }
+  return snap;
+}
+
+}  // namespace stopwatch::obs

@@ -1,0 +1,97 @@
+// Lock-free metrics primitives for the observability layer.
+//
+// Design rules, all serving deterministic output:
+//  * Histograms use fixed power-of-two bucket edges — bucket i counts
+//    values whose bit_width is i, i.e. [2^(i-1), 2^i), with bucket 0
+//    holding exactly the zeros — so the bucket layout never depends on
+//    the data.
+//  * Every mutation is commutative (relaxed atomic adds, a CAS max), so a
+//    snapshot taken after the writers quiesce is independent of the
+//    interleaving: permuting the merge/record order cannot change it,
+//    which is what lets one shared histogram serve concurrent
+//    Network::send callers on different simulator cores.
+//  * The Registry itself is single-threaded — histograms are created at
+//    cloud construction (before any worker runs) and counters are copied
+//    in at scenario end; only Histogram::record is concurrent.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stopwatch::obs {
+
+/// Deterministic point-in-time view of one Histogram.
+struct HistogramSnapshot {
+  std::uint64_t count{0};
+  std::uint64_t sum{0};
+  std::uint64_t max{0};
+  /// (bucket index, count) for non-empty buckets, ascending. Bucket i
+  /// holds values in [2^(i-1), 2^i); bucket 0 holds exactly the zeros.
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+};
+
+/// Log-bucketed histogram of unsigned values, safe to record into from
+/// any thread.
+class Histogram {
+ public:
+  void record(std::uint64_t value) {
+    buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen && !max_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  static constexpr int kBuckets = 65;  // bit_width of a uint64 is in [0, 64]
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// End-of-run registry snapshot: counters and histograms sorted by name,
+/// ready for deterministic serialization into a Result's `observability`
+/// block.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && histograms.empty();
+  }
+};
+
+/// Named metrics, owned by one cloud/scenario. Components keep their own
+/// cheap always-on counters (plain or relaxed-atomic integers on their
+/// hot paths); the owner copies them in through set_counter at scenario
+/// end, so the registry never sits on a hot path.
+class Registry {
+ public:
+  /// The named histogram, created on first use. Call during setup
+  /// (single-threaded); the returned pointer is stable for the registry's
+  /// lifetime and safe to record into from any thread.
+  [[nodiscard]] Histogram* histogram(const std::string& name);
+
+  /// Sets a counter's end-of-run value (single-threaded; last write wins).
+  void set_counter(const std::string& name, std::uint64_t value);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace stopwatch::obs

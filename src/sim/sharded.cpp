@@ -114,6 +114,10 @@ bool ShardedSimulator::merge_lanes(std::int64_t inclusive_ns) {
               return a.seq < b.seq;
             });
   crossed_ += merge_scratch_.size();
+  max_merge_batch_ = std::max(max_merge_batch_,
+                              static_cast<std::uint64_t>(
+                                  merge_scratch_.size()));
+  if (merge_hist_ != nullptr) merge_hist_->record(merge_scratch_.size());
   bool any_due = false;
   for (auto& e : merge_scratch_) {
     any_due = any_due || e.at_ns <= inclusive_ns;

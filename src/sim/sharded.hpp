@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 
@@ -108,6 +109,16 @@ class ShardedSimulator {
   [[nodiscard]] std::uint64_t cross_scheduled() const { return crossed_; }
   /// Barriers executed (windows run) so far.
   [[nodiscard]] std::uint64_t barriers() const { return barriers_; }
+  /// Largest single-barrier merge batch seen (peak cross-shard lane
+  /// depth at a barrier).
+  [[nodiscard]] std::uint64_t max_merge_batch() const {
+    return max_merge_batch_;
+  }
+
+  /// Installs (or, with nullptr, removes) a histogram receiving the size
+  /// of each non-empty barrier merge batch. Recorded on the main thread
+  /// at barriers only, never inside a window.
+  void set_merge_histogram(obs::Histogram* hist) { merge_hist_ = hist; }
 
   // --- Test hooks ---
   /// Invoked single-threaded after each barrier merge with the barrier
@@ -152,6 +163,8 @@ class ShardedSimulator {
   BarrierHook hook_;
   std::uint64_t crossed_{0};
   std::uint64_t barriers_{0};
+  std::uint64_t max_merge_batch_{0};
+  obs::Histogram* merge_hist_{nullptr};
   bool running_{false};
   /// Set while a window's workers run; cross_schedule validates its
   /// timestamps against this (the next barrier).

@@ -50,11 +50,13 @@ EventId Simulator::schedule_impl(std::int64_t at_ns, Task&& cb) {
   rec.seq = next_seq_++;
   place(slot, rec);
   ++live_;
+  ++stats_.scheduled;
   return EventId{slot, rec.gen};
 }
 
 EventId Simulator::reschedule_after(EventId id, Duration delay) {
   if (delay.ns < 0) delay.ns = 0;
+  ++stats_.rescheduled;
   if (is_executing(id)) {
     // Re-arm the running event: its Task is parked in execute_top()'s frame
     // and will be moved back into the same slot after the callback returns.
@@ -95,6 +97,7 @@ bool Simulator::cancel(EventId id) {
   }
   free_slot(id.slot);
   --live_;
+  ++stats_.cancelled;
   if (due_stale_ > 64 && due_stale_ * 2 > due_.size()) due_compact();
   if (far_stale_ > 64 && far_stale_ * 2 > far_.size()) far_compact();
   return true;
@@ -126,6 +129,7 @@ std::uint32_t Simulator::alloc_slot() {
     chunks_.push_back(
         std::make_unique_for_overwrite<Record[]>(std::size_t{1}
                                                  << kChunkBits));
+    ++stats_.arena_chunks;
     // Piggyback the due heap's initial reservation on the (rare) chunk
     // allocation so steady-state pushes never reallocate in small steps.
     if (due_.capacity() < kSlotsPerLevel) due_.reserve(kSlotsPerLevel);
@@ -151,15 +155,18 @@ void Simulator::place(std::uint32_t slot, Record& rec) {
     // At or behind the cursor (including "later this tick"): executable
     // order is decided by the due heap's (time, seq) key.
     rec.where = Where::kDue;
+    ++stats_.placed_due;
     due_push_entry(HeapEntry{rec.at_ns, rec.seq, slot, rec.gen});
     return;
   }
   if (delta >= kWheelHorizonTicks) {
     rec.where = Where::kFar;
+    ++stats_.placed_far;
     far_.push_back(HeapEntry{rec.at_ns, rec.seq, slot, rec.gen});
     std::push_heap(far_.begin(), far_.end(), HeapLater{});
     return;
   }
+  ++stats_.placed_wheel;
   int level = 0;
   while (delta >= (std::int64_t{1} << (kLevelBits * (level + 1)))) ++level;
   const auto bucket = static_cast<std::uint32_t>(
@@ -240,6 +247,7 @@ void Simulator::due_push_entry(const HeapEntry& e) {
     due_.push_back(e);
     std::make_heap(due_.begin(), due_.end(), HeapLater{});
     due_sorted_ = false;
+    ++stats_.heap_fallbacks;
   } else {
     due_.push_back(e);
     std::push_heap(due_.begin(), due_.end(), HeapLater{});
@@ -408,6 +416,11 @@ void Simulator::execute_top() {
   now_ = RealTime{rec.at_ns};
   ++executed_;
   --live_;
+  if (trace_sink_ != nullptr) [[unlikely]] {
+    if ((executed_ & (kTraceSampleEvery - 1)) == 0) {
+      trace_sink_->on_executed(rec.at_ns, executed_);
+    }
+  }
   rec.where = Where::kExecuting;
   executing_slot_ = top.slot;
   executing_gen_ = top.gen;

@@ -47,6 +47,35 @@ struct EventId {
   constexpr auto operator<=>(const EventId&) const = default;
 };
 
+/// Observer of kernel event execution. The kernel samples: an installed
+/// sink is notified once every `Simulator::kTraceSampleEvery` executed
+/// events, so an attached sink costs one predicted branch and a mask test
+/// per event between notifications. Null by default — the disabled cost
+/// is one [[unlikely]] null check per event.
+class KernelTraceSink {
+ public:
+  virtual ~KernelTraceSink() = default;
+  virtual void on_executed(std::int64_t now_ns, std::uint64_t executed) = 0;
+};
+
+/// Always-on kernel counters, exported into the observability block.
+/// Plain integers: each Simulator core is single-threaded by construction.
+struct KernelStats {
+  std::uint64_t scheduled{0};
+  std::uint64_t cancelled{0};
+  std::uint64_t rescheduled{0};
+  /// Out-of-order due-array pushes that flipped the drain into heap mode.
+  std::uint64_t heap_fallbacks{0};
+  /// Placements by destination structure. Counts every place() — initial
+  /// schedules plus refiles from wheel cascades and far-heap pulls — so
+  /// (placed_wheel + placed_far) - scheduled measures refile traffic.
+  std::uint64_t placed_due{0};
+  std::uint64_t placed_wheel{0};
+  std::uint64_t placed_far{0};
+  /// Slab chunks allocated (arena growth; never shrinks).
+  std::uint64_t arena_chunks{0};
+};
+
 /// Event-driven simulator with a single global (simulated) real-time clock.
 class Simulator {
  public:
@@ -119,6 +148,16 @@ class Simulator {
   /// Size of the slab arena (live + free slots) — the churn tests assert
   /// this stays flat while events are recycled.
   [[nodiscard]] std::size_t arena_slots() const { return slab_size_; }
+
+  /// Always-on scheduling/placement counters (see KernelStats).
+  [[nodiscard]] const KernelStats& kernel_stats() const { return stats_; }
+
+  /// Installs (or, with nullptr, removes) the sampled execution observer.
+  void set_trace_sink(KernelTraceSink* sink) { trace_sink_ = sink; }
+
+  /// Executed-event sampling interval for an installed KernelTraceSink
+  /// (power of two: the hot path tests `executed & (kTraceSampleEvery-1)`).
+  static constexpr std::uint64_t kTraceSampleEvery = 4096;
 
  private:
   // --- Wheel geometry ---
@@ -224,6 +263,8 @@ class Simulator {
   std::uint64_t executed_{0};
   std::uint64_t batched_{0};
   std::size_t live_{0};
+  KernelStats stats_;
+  KernelTraceSink* trace_sink_{nullptr};
 
   static constexpr int kChunkBits = 8;  // 256 records per slab chunk
   static constexpr std::uint32_t kChunkMask = (1u << kChunkBits) - 1;

@@ -12,6 +12,7 @@ TopologyBuilder::TopologyBuilder(sim::Simulator& sim, net::Network& net,
                                  TopologyConfig cfg)
     : cfg_(cfg),
       policy_(hypervisor::make_policy(cfg.policy)),
+      trace_(obs::active_trace()),
       sim_(&sim),
       net_(&net),
       table_(sim, net,
@@ -27,6 +28,9 @@ TopologyBuilder::TopologyBuilder(sim::Simulator& sim, net::Network& net,
   if (cfg_.wiring == WiringMode::kEager) table_.materialize_all();
   egress_node_ = net_->add_node(
       "egress", [this](const net::Frame& f) { on_egress_frame(f); });
+  if (trace_ != nullptr) {
+    egress_track_ = trace_->track(0, 0, "egress", "release-gate");
+  }
 }
 
 std::uint32_t TopologyBuilder::add_vm(std::string name, ProgramFactory factory,
@@ -99,6 +103,17 @@ void TopologyBuilder::wire(std::uint32_t vm_index) {
     }
   }
   const int replicas = effective_replicas();
+
+  if (trace_ != nullptr && entry.track == nullptr) {
+    // Track identity is the machine-table shard + VM index — both
+    // invariant under sim_shards, unlike the owner core.
+    const auto table_shard =
+        static_cast<std::uint32_t>(entry.machines.front() / cfg_.shard_size);
+    std::string pname = "machine-shard-";
+    pname += std::to_string(table_shard);
+    entry.track =
+        trace_->track(1 + table_shard, vm_index, std::move(pname), entry.name);
+  }
 
   // Control and ingress multicast groups (replicated policies only).
   if (policy_->replicated() && replicas > 1) {
@@ -194,6 +209,11 @@ void TopologyBuilder::boot(VmEntry& entry) {
   const VirtTime start{clocks[(clocks.size() - 1) / 2]};
   for (auto& replica : entry.replicas) {
     replica->start(start);
+  }
+  if (entry.track != nullptr) {
+    entry.track->instant(core_of_machine(entry.machines.front()).now().ns,
+                         "boot", "virt_start",
+                         static_cast<std::uint64_t>(start.ns));
   }
   entry.booted = true;
 }
@@ -339,6 +359,21 @@ std::uint64_t TopologyBuilder::total_divergences() const {
   return total;
 }
 
+hypervisor::PolicyStats TopologyBuilder::aggregate_policy_stats() const {
+  // The topology-level instance gates egress releases; each replica's
+  // instance makes the delivery/aggregation decisions for that replica.
+  hypervisor::PolicyStats total = policy_->stats();
+  for (const auto& vm : vms_) {
+    for (const auto& r : vm.replicas) {
+      const hypervisor::PolicyStats& s = r->policy().stats();
+      total.deliveries_quantized += s.deliveries_quantized;
+      total.egress_releases += s.egress_releases;
+      total.replica_aggregations += s.replica_aggregations;
+    }
+  }
+  return total;
+}
+
 void TopologyBuilder::on_addr_frame(std::uint32_t vm_index,
                                     const net::Frame& frame) {
   // Lazy wiring: the first frame reaching a VM's ingress address
@@ -364,6 +399,10 @@ void TopologyBuilder::on_ingress_packet(std::uint32_t vm_index,
                                         const net::Packet& pkt) {
   VmEntry& entry = vms_[vm_index];
   SW_ASSERT(entry.wired);  // on_addr_frame materialized lazy entries
+  if (entry.track != nullptr) {
+    entry.track->instant(core_of_machine(entry.machines.front()).now().ns,
+                         "ingress", "bytes", pkt.size_bytes);
+  }
   if (entry.ingress_group) {
     net::IngressCopy copy;
     copy.vm = entry.id;
@@ -418,6 +457,10 @@ void TopologyBuilder::on_egress_frame(const net::Frame& frame) {
     ++entry.egress_stats.hash_mismatches;
   }
   ++slot.copies;
+  if (egress_track_ != nullptr) {
+    egress_track_->instant(sim_->now().ns, "replica_copy", "vm",
+                           out->vm.value);
+  }
 
   // Gate on the policy's copy count ((r+1)/2 under StopWatch: the median
   // emission timing; the sole copy elsewhere), then release after the
@@ -431,6 +474,10 @@ void TopologyBuilder::on_egress_frame(const net::Frame& frame) {
     const Duration hold =
         policy_->egress_release_delay(out->vm.value, sim_->now());
     if (hold.ns <= 0) {
+      if (egress_track_ != nullptr) {
+        egress_track_->instant(sim_->now().ns, "release", "vm",
+                               out->vm.value);
+      }
       if (egress_tap_) egress_tap_(out->vm.value, sim_->now(), out->pkt);
       net::Frame f;
       f.src = egress_node_;
@@ -439,8 +486,17 @@ void TopologyBuilder::on_egress_frame(const net::Frame& frame) {
       f.payload = net::GuestPacketPayload{out->pkt};
       net_->send(std::move(f));
     } else {
+      if (egress_track_ != nullptr) {
+        // The hold is the attacker-relevant quantity: the span runs from
+        // the gating copy's arrival to the policy's release instant.
+        egress_track_->complete(sim_->now().ns, hold.ns, "egress_hold", "vm",
+                                out->vm.value);
+      }
       const std::uint32_t vm_index = out->vm.value;
       sim_->schedule_after(hold, [this, vm_index, pkt = out->pkt] {
+        if (egress_track_ != nullptr) {
+          egress_track_->instant(sim_->now().ns, "release", "vm", vm_index);
+        }
         if (egress_tap_) egress_tap_(vm_index, sim_->now(), pkt);
         net::Frame f;
         f.src = egress_node_;

@@ -37,6 +37,7 @@
 #include "hypervisor/policy.hpp"
 #include "net/multicast.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "topology/machine_table.hpp"
@@ -158,6 +159,9 @@ class TopologyBuilder {
   /// Sum of divergence counters across all materialized replicas plus
   /// egress hash mismatches.
   [[nodiscard]] std::uint64_t total_divergences() const;
+  /// Sum of policy decision counters over the topology-level policy
+  /// instance and every materialized replica's instance.
+  [[nodiscard]] hypervisor::PolicyStats aggregate_policy_stats() const;
   [[nodiscard]] const TopologyConfig& config() const { return cfg_; }
   /// The machine-to-core assignment (trivial one-shard plan until
   /// attach_sharding installs a real one).
@@ -186,6 +190,11 @@ class TopologyBuilder {
     };
     std::map<std::uint64_t, EgressSlot> egress_slots;
     EgressStats egress_stats;
+    /// Frame-lifecycle trace track (null when tracing is inactive). Events
+    /// are written only from the core owning the VM's machines — one
+    /// writer per track, which is what the recorder's lock-free append
+    /// relies on.
+    obs::TraceTrack* track{nullptr};
   };
 
   void wire(std::uint32_t vm_index);
@@ -200,6 +209,12 @@ class TopologyBuilder {
   TopologyConfig cfg_;
   /// Built first: validation and every capability query go through it.
   std::unique_ptr<hypervisor::MitigationPolicy> policy_;
+  /// Trace session active at construction (null = tracing off). Captured
+  /// once so every track this topology creates shares one recorder.
+  obs::TraceRecorder* trace_;
+  /// Egress-gate track (pid 0/tid 0): replica copies, holds, releases.
+  /// Written only from the egress node's owner core (core 0).
+  obs::TraceTrack* egress_track_{nullptr};
   EgressTap egress_tap_;
   sim::Simulator* sim_;
   sim::ShardedSimulator* sharded_{nullptr};

@@ -14,6 +14,7 @@
 #include "experiment/diff.hpp"
 #include "experiment/json.hpp"
 #include "experiment/result.hpp"
+#include "obs/metrics.hpp"
 
 namespace stopwatch::experiment {
 namespace {
@@ -90,6 +91,40 @@ TEST(BenchReport, RejectsWrongSchemaAndShape) {
       R"({"schema": "other/9", "results": []})", report, error));
   EXPECT_NE(error.find("other/9"), std::string::npos);
   EXPECT_FALSE(parse_bench_report(R"({"results": []})", report, error));
+}
+
+TEST(BenchReport, ObservabilityBlockIsIgnoredByTheDiff) {
+  // Reports may carry an `observability` block (counters + histograms).
+  // The diff compares metric trajectories only: a report with the block
+  // must diff clean against the same metrics without it — no phantom
+  // missing/new entries, no gate trips from counter churn.
+  Result r("scn");
+  r.add_metric("lat", 100.0, "ns/op");
+  r.set_context(/*seed=*/1, /*smoke=*/true, {});
+  obs::Registry registry;
+  registry.set_counter("sim.events_scheduled", 42);
+  registry.histogram("net.frame_bytes")->record(1500);
+  r.set_observability(registry.snapshot());
+  std::vector<Result> results;
+  results.push_back(std::move(r));
+  const std::string with_block = report_to_json(results);
+  ASSERT_NE(with_block.find("\"observability\""), std::string::npos);
+
+  BenchReport parsed;
+  std::string error;
+  ASSERT_TRUE(parse_bench_report(with_block, parsed, error)) << error;
+  BenchReport plain;
+  ASSERT_TRUE(parse_bench_report(
+      make_report({{"scn", {{"lat", 100.0, "ns/op"}}}}), plain, error))
+      << error;
+
+  const DiffReport diff = diff_reports(plain, parsed, {.threshold = 0.10});
+  EXPECT_TRUE(diff.passed());
+  EXPECT_TRUE(diff.missing_in_candidate.empty());
+  EXPECT_TRUE(diff.new_in_candidate.empty());
+  ASSERT_EQ(diff.deltas.size(), 1u);
+  EXPECT_EQ(diff.deltas[0].metric, "lat");
+  EXPECT_EQ(diff.deltas[0].delta_fraction, 0.0);
 }
 
 BenchReport report_with(const std::vector<BenchMetric>& metrics) {

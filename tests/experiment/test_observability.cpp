@@ -1,0 +1,151 @@
+// The observability guarantees end to end: a traced scenario serializes
+// to byte-identical trace JSON whether the event core runs on 1 or 4
+// simulator shards and whether the runner uses 1 or 8 jobs; the
+// `observability` report block is present, populated, and — since some of
+// its counters legitimately depend on sim_shards — strippable, leaving
+// the rest of the report byte-identical across the knob.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "experiment/registry.hpp"
+#include "experiment/result.hpp"
+#include "experiment/runner.hpp"
+#include "obs/trace.hpp"
+
+namespace stopwatch::experiment {
+namespace {
+
+const ParamOverrides kSmallPlacement = {{"machines", "99"},
+                                        {"driven_vms", "8"},
+                                        {"run_time_s", "0.4"},
+                                        {"pair_samples", "2000"}};
+
+/// Runs placement_e2e with a fresh armed recorder and returns the default
+/// (shard-count-invariant) trace export.
+std::string trace_of(const std::string& shards, std::uint64_t jobs) {
+  obs::TraceRecorder recorder;
+  obs::set_active_trace(&recorder);
+  recorder.arm();
+  ParamOverrides overrides = kSmallPlacement;
+  overrides["sim_shards"] = shards;
+  const Scenario* scenario = ScenarioRegistry::instance().find("placement_e2e");
+  EXPECT_NE(scenario, nullptr);
+  const auto outcomes =
+      run_scenarios({scenario}, overrides, /*seed=*/11, /*smoke=*/true, jobs);
+  recorder.disarm();
+  obs::set_active_trace(nullptr);
+  EXPECT_EQ(outcomes.size(), 1u);
+  for (const auto& o : outcomes) EXPECT_TRUE(o.ok) << o.error;
+  EXPECT_GT(recorder.event_count(), 0u);
+  return recorder.export_json();
+}
+
+TEST(Observability, TraceByteIdenticalAcrossShardCounts) {
+  // The tentpole guarantee: track identities are shard-count-invariant and
+  // the export sort is deterministic, so the trace bytes cannot tell 1
+  // simulator core from 4.
+  const std::string one = trace_of("1", /*jobs=*/1);
+  const std::string four = trace_of("4", /*jobs=*/1);
+  EXPECT_EQ(one, four);
+  // Frame-lifecycle vocabulary is actually in there.
+  EXPECT_NE(one.find("\"ingress\""), std::string::npos);
+  EXPECT_NE(one.find("\"release\""), std::string::npos);
+  EXPECT_NE(one.find("\"boot\""), std::string::npos);
+}
+
+TEST(Observability, TraceByteIdenticalAcrossJobs) {
+  // The scenario body runs inline at --jobs 1 and on a pool worker at
+  // --jobs 8; the recorder must serialize the same bytes either way.
+  const std::string inline_run = trace_of("2", /*jobs=*/1);
+  const std::string pooled_run = trace_of("2", /*jobs=*/8);
+  EXPECT_EQ(inline_run, pooled_run);
+}
+
+TEST(Observability, ParallelTracksExistButStayOutOfDefaultExport) {
+  obs::TraceRecorder recorder;
+  obs::set_active_trace(&recorder);
+  recorder.arm();
+  ParamOverrides overrides = kSmallPlacement;
+  overrides["sim_shards"] = "4";
+  static_cast<void>(ScenarioRegistry::instance().run("placement_e2e",
+                                                     /*seed=*/11,
+                                                     /*smoke=*/true,
+                                                     overrides));
+  recorder.disarm();
+  obs::set_active_trace(nullptr);
+  // Barrier windows and per-core kernel counters recorded on a 4-shard
+  // run, but only the opt-in export shows them.
+  const std::string def = recorder.export_json();
+  const std::string parallel = recorder.export_json(/*include_parallel=*/true);
+  EXPECT_EQ(def.find("\"barriers\""), std::string::npos);
+  EXPECT_NE(parallel.find("\"barriers\""), std::string::npos);
+  EXPECT_NE(parallel.find("\"sim-kernel\""), std::string::npos);
+  EXPECT_GT(parallel.size(), def.size());
+}
+
+TEST(Observability, ReportBlockIsPresentAndPopulated) {
+  const Result r = ScenarioRegistry::instance().run(
+      "placement_e2e", /*seed=*/7, /*smoke=*/true, kSmallPlacement);
+  const auto& snap = r.observability();
+  ASSERT_FALSE(snap.empty());
+  const auto counter = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_GT(counter("sim.events_scheduled"), 0u);
+  EXPECT_GT(counter("sim.events_executed"), 0u);
+  EXPECT_GT(counter("net.frames_sent.guest_packet"), 0u);
+  EXPECT_GT(counter("policy.replica_aggregations"), 0u);
+  EXPECT_EQ(counter("topology.divergences"), 0u);
+  // The histograms made it through, and so did the serialized block.
+  bool saw_bytes_histogram = false;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "net.frame_bytes") {
+      saw_bytes_histogram = h.count > 0;
+    }
+  }
+  EXPECT_TRUE(saw_bytes_histogram);
+  EXPECT_NE(r.to_json().find("\"observability\""), std::string::npos);
+}
+
+/// Truncates the trailing `observability` block (it holds shard-count-
+/// dependent counters by design) so the remainder can be compared across
+/// sim_shards values.
+std::string strip_observability(std::string json) {
+  const std::string marker = ",\n  \"observability\"";
+  const std::size_t at = json.find(marker);
+  EXPECT_NE(at, std::string::npos);
+  if (at != std::string::npos) {
+    json.erase(at);
+    json += "\n}";
+  }
+  return json;
+}
+
+TEST(Observability, Fig6ShardCountsByteIdenticalOutsideTheBlock) {
+  // The lazily-wired fig6_nfs grows the sim_shards knob: same bytes on 1
+  // and 2 simulator cores once the shard-dependent block is stripped.
+  const auto run_with = [](const std::string& shards) {
+    Result r = ScenarioRegistry::instance().run(
+        "fig6_nfs", /*seed=*/13, /*smoke=*/true,
+        {{"run_time_s", "0.3"}, {"rate_count", "1"}, {"sim_shards", shards}});
+    std::string json = strip_observability(r.to_json());
+    const std::string stamp = "\"sim_shards\": " + shards;
+    const std::size_t at = json.find(stamp);
+    EXPECT_NE(at, std::string::npos) << json.substr(0, 400);
+    json.replace(at, stamp.size(), "\"sim_shards\": _");
+    return json;
+  };
+  const std::string one = run_with("1");
+  const std::string two = run_with("2");
+  EXPECT_EQ(one, two);
+}
+
+}  // namespace
+}  // namespace stopwatch::experiment

@@ -1,0 +1,150 @@
+// The trace recorder's export contract: disarmed recording is a no-op,
+// events serialize stable-sorted by (ts, pid, tid) with integer-exact
+// microsecond timestamps, and kParallel tracks stay out of the default
+// export — the properties behind the cross-shard byte-identity guarantee.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace stopwatch::obs {
+namespace {
+
+TEST(TraceRecorder, DisarmedRecordingIsANoOp) {
+  TraceRecorder rec;
+  TraceTrack* t = rec.track(1, 0, "proc", "thread");
+  t->instant(100, "ev");
+  t->complete(200, 50, "span");
+  t->counter(300, "ctr", "v", 7);
+  EXPECT_EQ(rec.event_count(), 0u);
+
+  rec.arm();
+  t->instant(100, "ev");
+  EXPECT_EQ(rec.event_count(), 1u);
+  rec.disarm();
+  t->instant(101, "ev");
+  EXPECT_EQ(rec.event_count(), 1u);
+
+  rec.clear();
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+TEST(TraceRecorder, TrackIdentityIsPidTid) {
+  TraceRecorder rec;
+  TraceTrack* a = rec.track(5, 2, "p", "t");
+  EXPECT_EQ(a, rec.track(5, 2, "ignored", "ignored"));
+  EXPECT_NE(a, rec.track(5, 3, "p", "t2"));
+}
+
+TEST(TraceRecorder, ExportSortsByTsThenPidTidAndFormatsMicroseconds) {
+  TraceRecorder rec;
+  // Created out of identity order on purpose: export must not depend on
+  // creation order.
+  TraceTrack* late = rec.track(2, 0, "proc-b", "row");
+  TraceTrack* early = rec.track(1, 0, "proc-a", "row");
+  rec.arm();
+  late->instant(1500, "tie");           // 1.500 us, pid 2
+  early->instant(1500, "tie");          // 1.500 us, pid 1 — sorts first
+  early->complete(2000, 250, "span");   // ts 2.000, dur 0.250
+  late->instant(999, "first");          // 0.999 us — earliest
+  rec.disarm();
+
+  const std::string json = rec.export_json();
+  // Metadata precedes events, processes in pid order.
+  const auto meta_a = json.find("\"name\": \"proc-a\"");
+  const auto meta_b = json.find("\"name\": \"proc-b\"");
+  ASSERT_NE(meta_a, std::string::npos);
+  ASSERT_NE(meta_b, std::string::npos);
+  EXPECT_LT(meta_a, meta_b);
+
+  const auto first = json.find("\"ts\": 0.999, \"pid\": 2");
+  const auto tie_p1 = json.find("\"ts\": 1.500, \"pid\": 1");
+  const auto tie_p2 = json.find("\"ts\": 1.500, \"pid\": 2");
+  const auto span = json.find("\"dur\": 0.250, \"pid\": 1");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(tie_p1, std::string::npos);
+  ASSERT_NE(tie_p2, std::string::npos);
+  ASSERT_NE(span, std::string::npos);
+  EXPECT_LT(first, tie_p1);
+  EXPECT_LT(tie_p1, tie_p2);
+  EXPECT_LT(tie_p2, span);
+
+  // Two exports of the same recorder are byte-identical.
+  EXPECT_EQ(json, rec.export_json());
+}
+
+TEST(TraceRecorder, ParallelTracksAreOptIn) {
+  TraceRecorder rec;
+  TraceTrack* sim_track = rec.track(1, 0, "vm", "v0");
+  TraceTrack* par = rec.track(800, 0, "parallel", "barriers",
+                              Category::kParallel);
+  rec.arm();
+  sim_track->instant(10, "ingress");
+  par->complete(10, 5, "window");
+  rec.disarm();
+
+  const std::string def = rec.export_json();
+  EXPECT_NE(def.find("\"ingress\""), std::string::npos);
+  EXPECT_EQ(def.find("\"window\""), std::string::npos);
+  EXPECT_EQ(def.find("\"barriers\""), std::string::npos);
+
+  const std::string with = rec.export_json(/*include_parallel=*/true);
+  EXPECT_NE(with.find("\"window\""), std::string::npos);
+  EXPECT_NE(with.find("\"barriers\""), std::string::npos);
+}
+
+TEST(TraceRecorder, EscapesQuotesInTrackNames) {
+  TraceRecorder rec;
+  rec.track(1, 0, "p", "vm \"quoted\"\nname");
+  const std::string json = rec.export_json();
+  EXPECT_NE(json.find("vm \\\"quoted\\\" name"), std::string::npos);
+}
+
+TEST(KernelCounterSink, RecordsKernelNotificationsAsCounterEvents) {
+  TraceRecorder rec;
+  TraceTrack* t =
+      rec.track(900, 0, "sim-kernel", "core-0", Category::kParallel);
+  KernelCounterSink sink(t);
+  sink.on_executed(100, 4096);  // disarmed: dropped
+  rec.arm();
+  sink.on_executed(200, 8192);
+  sink.on_executed(300, 12288);
+  EXPECT_EQ(rec.event_count(), 2u);
+  const std::string json = rec.export_json(/*include_parallel=*/true);
+  EXPECT_NE(json.find("\"events_executed\""), std::string::npos);
+  EXPECT_NE(json.find("{\"executed\": 8192}"), std::string::npos);
+}
+
+TEST(KernelCounterSink, KernelSamplesEveryPowerOfTwoInterval) {
+  // The sampling lives in the kernel: a sink attached to a real simulator
+  // is notified once per kTraceSampleEvery executed events.
+  TraceRecorder rec;
+  TraceTrack* t =
+      rec.track(901, 0, "sim-kernel", "core-0", Category::kParallel);
+  rec.arm();
+  KernelCounterSink sink(t);
+  sim::Simulator simulator;
+  simulator.set_trace_sink(&sink);
+  const std::uint64_t events = 2 * sim::Simulator::kTraceSampleEvery + 10;
+  for (std::uint64_t i = 0; i < events; ++i) {
+    simulator.schedule_at(RealTime::nanos(static_cast<std::int64_t>(i)),
+                          [] {});
+  }
+  simulator.run();
+  EXPECT_EQ(rec.event_count(), 2u);
+}
+
+TEST(ActiveTrace, InstallAndClear) {
+  EXPECT_EQ(active_trace(), nullptr);
+  TraceRecorder rec;
+  set_active_trace(&rec);
+  EXPECT_EQ(active_trace(), &rec);
+  set_active_trace(nullptr);
+  EXPECT_EQ(active_trace(), nullptr);
+}
+
+}  // namespace
+}  // namespace stopwatch::obs
