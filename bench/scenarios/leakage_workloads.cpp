@@ -33,6 +33,8 @@
 #include "leakage/estimators.hpp"
 #include "leakage/observation_log.hpp"
 #include "leakage/timing_tap.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "workload/file_service.hpp"
 #include "workload/nfs.hpp"
 #include "workload/parsec.hpp"
@@ -59,7 +61,8 @@ core::CloudConfig workload_cloud_config(core::Policy policy,
 }
 
 /// File retrieval: secret = file size class {24, 72, 144} KiB.
-ObservationLog run_file(core::Policy policy, std::uint64_t seed, int trials) {
+ObservationLog run_file(core::Policy policy, std::uint64_t seed, int trials,
+                        obs::TimeSeries* series) {
   core::Cloud cloud(workload_cloud_config(policy, seed));
   const core::VmHandle vm = cloud.add_vm(
       "fileserver",
@@ -71,6 +74,7 @@ ObservationLog run_file(core::Policy policy, std::uint64_t seed, int trials) {
 
   ObservationLog log(ObservationLogConfig{seed, kReservoir});
   TimingTap tap(cloud, vm, TimingTap::Mode::kTrialDuration, log);
+  tap.set_series(series);
   cloud.start();
 
   const std::uint32_t sizes[] = {24 << 10, 72 << 10, 144 << 10};
@@ -90,7 +94,8 @@ ObservationLog run_file(core::Policy policy, std::uint64_t seed, int trials) {
 /// NFS: secret = operation type the client is issuing {getattr, read,
 /// write}, one single-op load window per class per round.
 ObservationLog run_nfs(core::Policy policy, std::uint64_t seed,
-                       double window_s, int rounds) {
+                       double window_s, int rounds,
+                       obs::TimeSeries* series) {
   core::CloudConfig cfg = workload_cloud_config(policy, seed);
   if (hypervisor::policy_replicated(policy)) {
     cfg.policy.stopwatch.delta_n = Duration::millis(7);
@@ -105,6 +110,7 @@ ObservationLog run_nfs(core::Policy policy, std::uint64_t seed,
 
   ObservationLog log(ObservationLogConfig{seed, kReservoir});
   TimingTap tap(cloud, vm, TimingTap::Mode::kInterRelease, log);
+  tap.set_series(series);
   cloud.start();
 
   const workload::NfsOp ops[] = {workload::NfsOp::kGetattr,
@@ -135,8 +141,8 @@ ObservationLog run_nfs(core::Policy policy, std::uint64_t seed,
 
 /// PARSEC: secret = which application ran; ferret vs blackscholes are the
 /// suite's two closest baseline runtimes, so the classes genuinely overlap.
-ObservationLog run_parsec(core::Policy policy, std::uint64_t seed,
-                          int trials) {
+ObservationLog run_parsec(core::Policy policy, std::uint64_t seed, int trials,
+                          obs::TimeSeries* series) {
   const auto& suite = workload::parsec_suite();
   const workload::ParsecAppSpec apps[] = {suite[0], suite[1]};
 
@@ -160,6 +166,7 @@ ObservationLog run_parsec(core::Policy policy, std::uint64_t seed,
           },
           {0, 1, 2});
       TimingTap tap(cloud, vm, TimingTap::Mode::kTrialDuration, log);
+      tap.set_series(series);
       tap.begin_trial(c);
       cloud.start();
       while (!done) cloud.run_for(Duration::millis(50));
@@ -189,18 +196,22 @@ Result run(const ScenarioContext& ctx) {
 
   struct Row {
     const char* workload;
-    std::function<ObservationLog(core::Policy, std::uint64_t)> runner;
+    std::function<ObservationLog(core::Policy, std::uint64_t,
+                                 obs::TimeSeries*)>
+        runner;
   };
   const std::vector<Row> rows = {
       {"file",
-       [&](core::Policy p, std::uint64_t s) { return run_file(p, s, trials); }},
+       [&](core::Policy p, std::uint64_t s, obs::TimeSeries* ts) {
+         return run_file(p, s, trials, ts);
+       }},
       {"nfs",
-       [&](core::Policy p, std::uint64_t s) {
-         return run_nfs(p, s, window_s, nfs_rounds);
+       [&](core::Policy p, std::uint64_t s, obs::TimeSeries* ts) {
+         return run_nfs(p, s, window_s, nfs_rounds, ts);
        }},
       {"parsec",
-       [&](core::Policy p, std::uint64_t s) {
-         return run_parsec(p, s, parsec_trials);
+       [&](core::Policy p, std::uint64_t s, obs::TimeSeries* ts) {
+         return run_parsec(p, s, parsec_trials, ts);
        }},
   };
 
@@ -213,13 +224,18 @@ Result run(const ScenarioContext& ctx) {
       choice == "stopwatch" ? "StopWatch" : "policy '" + choice + "'";
 
   Result result("leakage_workloads");
+  obs::Registry registry;
   double max_mitigated_mi = 0.0;
   std::string max_workload;
   for (const Row& row : rows) {
     const std::uint64_t seed = ctx.seed() ^ (row.workload[0] * 0x10001ULL);
     const ObservationLog base_log =
-        row.runner(core::Policy::kBaselineXen, seed);
-    const ObservationLog mit_log = row.runner(mitigated, seed);
+        row.runner(core::Policy::kBaselineXen, seed, nullptr);
+    // The mitigated arm also feeds the per-epoch observation rollups:
+    // bounded at 64 windows regardless of horizon (width doubles as the
+    // run outgrows the budget), values in microseconds of sim time.
+    obs::TimeSeries mi_series(100 * 1000 * 1000, 64);
+    const ObservationLog mit_log = row.runner(mitigated, seed, &mi_series);
     const double base_mi = estimate_mi(base_log, mode, bins);
     const double mit_mi = estimate_mi(mit_log, mode, bins);
     const std::string w = row.workload;
@@ -230,12 +246,18 @@ Result run(const ScenarioContext& ctx) {
     result.add_metric("observations_" + w + "_" + choice,
                       static_cast<double>(mit_log.total_count()), "samples");
     result.add_metric("mi_delta_" + w, base_mi - mit_mi, "bits");
+    result.add_timeseries("mi_observations_us_" + w, mi_series.snapshot());
+    registry.set_gauge("mem.reservoir_bytes_" + w + "_baseline",
+                       base_log.reservoir_bytes());
+    registry.set_gauge("mem.reservoir_bytes_" + w + "_" + choice,
+                       mit_log.reservoir_bytes());
     if (mit_mi >= max_mitigated_mi) {
       max_mitigated_mi = mit_mi;
       max_workload = w;
     }
   }
   result.add_metric("max_" + choice + "_mi", max_mitigated_mi, "bits");
+  result.set_observability(registry.snapshot());
   result.set_note(
       "Per-workload egress-timing leakage under " + display +
       ", most leaky: " + max_workload +

@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "experiment/registry.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "placement/placement.hpp"
 #include "sim/simulator.hpp"
@@ -171,6 +172,52 @@ Result run(const ScenarioContext& ctx) {
     std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2,
                      ratios.end());
     result.add_metric("tracing_disabled_overhead_ratio",
+                      ratios[ratios.size() / 2], "x");
+  }
+
+  // Profiling disabled must be free the same way: the schedule+run body
+  // with an OBS_PROF_SCOPE probe on the per-event path, measured with a
+  // profiler installed-but-never-armed (the pointer load + armed-flag
+  // check) against no profiler installed (the pointer load alone). Same
+  // alternating paired-ratio scheme as above; nightly gates <= 1.02.
+  {
+    obs::Profiler idle;  // installed, never armed
+    obs::Profiler* const previous = obs::active_profiler();
+    const std::uint64_t reps = std::max<std::uint64_t>(1, iters / 2000);
+    const auto loop = [&](obs::Profiler* installed) {
+      obs::set_active_profiler(installed);
+      return time_ns_per_op(reps, [&](auto) {
+        sim::Simulator sim;
+        for (std::uint64_t i = 0; i < sim_events; ++i) {
+          OBS_PROF_SCOPE("bench.probe");
+          sim.schedule_at(RealTime::nanos(i * 100), [] {});
+        }
+        sim.run();
+        g_sink = static_cast<double>(sim.events_executed());
+      });
+    };
+    const auto best_of = [&](obs::Profiler* installed) {
+      double best = loop(installed);
+      for (int sub = 1; sub < 3; ++sub) best = std::min(best, loop(installed));
+      return best;
+    };
+    std::vector<double> ratios;
+    for (int round = 0; round < 5; ++round) {
+      double plain;
+      double disarmed;
+      if (round % 2 == 0) {
+        plain = best_of(nullptr);
+        disarmed = best_of(&idle);
+      } else {
+        disarmed = best_of(&idle);
+        plain = best_of(nullptr);
+      }
+      ratios.push_back(disarmed / plain);
+    }
+    obs::set_active_profiler(previous);
+    std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2,
+                     ratios.end());
+    result.add_metric("profiling_disabled_overhead_ratio",
                       ratios[ratios.size() / 2], "x");
   }
 

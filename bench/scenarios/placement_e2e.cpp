@@ -30,6 +30,7 @@
 #include "common/rng.hpp"
 #include "core/cloud.hpp"
 #include "experiment/registry.hpp"
+#include "obs/profiler.hpp"
 #include "placement/placement.hpp"
 
 namespace stopwatch::bench {
@@ -67,14 +68,23 @@ Result run(const ScenarioContext& ctx) {
   // Full-capacity placement: Θ(n²) VMs over n machines.
   const int c = (n - 1) / 2;
   std::vector<placement::Triangle> triangles;
-  if (mode == "theorem2") {
-    SW_EXPECTS_MSG(n % 6 == 3,
-                   "placement=theorem2 requires machines = 3 (mod 6), got " +
-                       std::to_string(n));
-    triangles = placement::theorem2_placement(n, c);
-  } else {
-    triangles = placement::greedy_packing(n, c);
+  {
+    OBS_PROF_SCOPE("scenario.placement");
+    if (mode == "theorem2") {
+      SW_EXPECTS_MSG(n % 6 == 3,
+                     "placement=theorem2 requires machines = 3 (mod 6), got " +
+                         std::to_string(n));
+      triangles = placement::theorem2_placement(n, c);
+    } else {
+      triangles = placement::greedy_packing(n, c);
+    }
   }
+  // Function-level umbrella: everything from here on that is not inside a
+  // more specific scope (setup, drive, the kernel phases...) lands in
+  // scenario.analysis self time — placement validation, co-residence
+  // sampling, post-run measurement, and the cloud teardown. Children
+  // subtract, so nothing is double counted and attribution stays >= 90%.
+  OBS_PROF_SCOPE("scenario.analysis");
   const auto k = static_cast<long>(triangles.size());
 
   Result result("placement_e2e");
@@ -146,11 +156,15 @@ Result run(const ScenarioContext& ctx) {
 
   core::Cloud cloud(cfg);
   std::vector<core::VmHandle> vms;
-  vms.reserve(static_cast<std::size_t>(k));
-  for (const placement::Triangle& t : triangles) {
-    vms.push_back(cloud.add_vm("vm" + std::to_string(vms.size()),
-                               [] { return std::make_unique<EchoProgram>(); },
-                               {t.a, t.b, t.c}));
+  {
+    OBS_PROF_SCOPE("scenario.setup");
+    vms.reserve(static_cast<std::size_t>(k));
+    for (const placement::Triangle& t : triangles) {
+      vms.push_back(
+          cloud.add_vm("vm" + std::to_string(vms.size()),
+                       [] { return std::make_unique<EchoProgram>(); },
+                       {t.a, t.b, t.c}));
+    }
   }
 
   std::map<std::uint32_t, long> replies_by_addr;
@@ -177,37 +191,43 @@ Result run(const ScenarioContext& ctx) {
   for (const std::size_t vm_index : driven) {
     driven_handles.push_back(vms[vm_index]);
   }
-  cloud.activate_sharded(driven_handles);
-
-  cloud.start();
+  {
+    OBS_PROF_SCOPE("scenario.setup");
+    cloud.activate_sharded(driven_handles);
+    cloud.start();
+  }
 
   // Poisson request stream per driven VM; scheduled up front so the whole
   // run is a pure function of the seed.
   long requests_sent = 0;
-  for (const std::size_t vm_index : driven) {
-    const core::VmHandle vm = vms[vm_index];
-    double t_s = 0.001;  // small head start past start()
-    std::uint64_t seq = 0;
-    while (true) {
-      t_s += drive_rng.exponential(rate_hz);
-      if (t_s >= run_time_s) break;
-      ++requests_sent;
-      const std::uint64_t this_seq = seq++;
-      cloud.simulator().schedule_at(
-          RealTime{} + Duration::from_seconds_f(t_s),
-          [&cloud, client, vm, this_seq] {
-            net::Packet req;
-            req.dst = cloud.vm_addr(vm);
-            req.kind = net::PacketKind::kRequest;
-            req.seq = this_seq;
-            req.size_bytes = 90;
-            cloud.send_external(client, req);
-          });
+  {
+    OBS_PROF_SCOPE("scenario.drive");
+    for (const std::size_t vm_index : driven) {
+      const core::VmHandle vm = vms[vm_index];
+      double t_s = 0.001;  // small head start past start()
+      std::uint64_t seq = 0;
+      while (true) {
+        t_s += drive_rng.exponential(rate_hz);
+        if (t_s >= run_time_s) break;
+        ++requests_sent;
+        const std::uint64_t this_seq = seq++;
+        cloud.simulator().schedule_at(
+            RealTime{} + Duration::from_seconds_f(t_s),
+            [&cloud, client, vm, this_seq] {
+              net::Packet req;
+              req.dst = cloud.vm_addr(vm);
+              req.kind = net::PacketKind::kRequest;
+              req.seq = this_seq;
+              req.size_bytes = 90;
+              cloud.send_external(client, req);
+            });
+      }
     }
-  }
 
-  cloud.run_for(Duration::from_seconds_f(run_time_s) + Duration::millis(500));
-  cloud.halt_all();
+    cloud.run_for(Duration::from_seconds_f(run_time_s) +
+                  Duration::millis(500));
+    cloud.halt_all();
+  }
 
   // --- End-to-end measurements over the driven sample ---
   long replies_received = 0;
@@ -281,6 +301,11 @@ Result run(const ScenarioContext& ctx) {
       "packet, run on exactly their assigned machines, and the sampled "
       "co-residence probability matches the occupancy-exact value within "
       "25% relative error.");
+  // Sim-time rollups (egress release latency) participate in cross-shard
+  // byte-identity; they go in the `timeseries` block, not observability.
+  for (auto& [series_name, series] : cloud.timeseries()) {
+    result.add_timeseries(series_name, std::move(series));
+  }
   // Kernel/fabric/policy counters for the `observability` block. Several
   // of them (barrier counts, placement of events in the wheel) legitimately
   // depend on sim_shards; cross-shard-count comparisons strip the block.

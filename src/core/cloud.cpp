@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "obs/profiler.hpp"
 
 namespace stopwatch::core {
 
@@ -72,6 +73,7 @@ Cloud::Cloud(CloudConfig cfg)
   // are copied in at observability() time.
   net_.set_bytes_histogram(registry_.histogram("net.frame_bytes"));
   sharded_.set_merge_histogram(registry_.histogram("sharded.merge_batch"));
+  topo_->set_egress_latency_series(&egress_series_);
   if (obs::TraceRecorder* trace = obs::active_trace()) {
     // Execution-machinery tracks are inherently shard-dependent, so they
     // carry Category::kParallel and stay out of the default export.
@@ -153,6 +155,7 @@ void Cloud::activate_sharded(const std::vector<VmHandle>& driven) {
 }
 
 void Cloud::run_for(Duration d) {
+  OBS_PROF_SCOPE("cloud.run");
   SW_EXPECTS(started_);
   if (sharded_.shard_count() > 1) {
     SW_EXPECTS_MSG(
@@ -210,26 +213,45 @@ obs::Snapshot Cloud::observability() {
                      "mcast_nak",    "mcast_spm"};
 
   sim::KernelStats kernel{};
+  std::uint64_t arena_bytes = 0;
   for (int s = 0; s < sharded_.shard_count(); ++s) {
     const sim::KernelStats& ks = sharded_.shard(s).kernel_stats();
     kernel.scheduled += ks.scheduled;
     kernel.cancelled += ks.cancelled;
     kernel.rescheduled += ks.rescheduled;
     kernel.heap_fallbacks += ks.heap_fallbacks;
+    kernel.due_sorted_pops += ks.due_sorted_pops;
+    kernel.due_fallback_pushes += ks.due_fallback_pushes;
     kernel.placed_due += ks.placed_due;
     kernel.placed_wheel += ks.placed_wheel;
     kernel.placed_far += ks.placed_far;
     kernel.arena_chunks += ks.arena_chunks;
+    kernel.max_live += ks.max_live;
+    kernel.max_due += ks.max_due;
+    kernel.max_far += ks.max_far;
+    arena_bytes += sharded_.shard(s).arena_bytes();
   }
   registry_.set_counter("sim.events_scheduled", kernel.scheduled);
   registry_.set_counter("sim.events_cancelled", kernel.cancelled);
   registry_.set_counter("sim.events_rescheduled", kernel.rescheduled);
   registry_.set_counter("sim.events_executed", sharded_.events_executed());
   registry_.set_counter("sim.heap_fallbacks", kernel.heap_fallbacks);
+  registry_.set_counter("sim.due_sorted_pops", kernel.due_sorted_pops);
+  registry_.set_counter("sim.due_fallback_pushes", kernel.due_fallback_pushes);
   registry_.set_counter("sim.placed_due", kernel.placed_due);
   registry_.set_counter("sim.placed_wheel", kernel.placed_wheel);
   registry_.set_counter("sim.placed_far", kernel.placed_far);
   registry_.set_counter("sim.arena_chunks", kernel.arena_chunks);
+
+  // Memory-accounting gauges: deterministic quantities only (wall-clock
+  // and RSS measurements belong in the --profile output, never here —
+  // this snapshot participates in byte-identity comparisons).
+  registry_.set_gauge("mem.arena_bytes", arena_bytes);
+  registry_.set_gauge("mem.live_events_highwater", kernel.max_live);
+  registry_.set_gauge("mem.due_highwater", kernel.max_due);
+  registry_.set_gauge("mem.far_highwater", kernel.max_far);
+  registry_.set_gauge("mem.lane_bytes_highwater",
+                      sharded_.lane_bytes_highwater());
 
   registry_.set_counter("sharded.shards",
                         static_cast<std::uint64_t>(sharded_.shard_count()));

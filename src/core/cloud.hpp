@@ -51,6 +51,7 @@
 #include "hypervisor/machine.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
@@ -199,9 +200,21 @@ class Cloud {
 
   /// End-of-run metrics snapshot: kernel counters summed over cores,
   /// sharded-execution stats, per-class frame counts, policy decision
-  /// counters, and the frame-size / merge-batch histograms. Intended for a
-  /// Result's `observability` block — call once after run_for.
+  /// counters, memory-accounting gauges (arena bytes, live/due/far
+  /// high-water marks, peak cross-shard lane bytes), and the frame-size /
+  /// merge-batch histograms. Intended for a Result's `observability`
+  /// block — call once after run_for.
   [[nodiscard]] obs::Snapshot observability();
+
+  /// Sim-time rollup series owned by the cloud, named for a Result's
+  /// `timeseries` block. Currently one series: `egress.release_latency_ns`,
+  /// fed one sample per egress release (first replica copy -> policy
+  /// release instant). Values are pure functions of sim time, so the
+  /// snapshots are byte-identical across sim_shards and --jobs.
+  [[nodiscard]] std::vector<std::pair<std::string, obs::TimeSeriesSnapshot>>
+  timeseries() const {
+    return {{"egress.release_latency_ns", egress_series_.snapshot()}};
+  }
 
  private:
   CloudConfig cfg_;
@@ -212,6 +225,10 @@ class Cloud {
   /// Owns every named metric of this cloud; histograms are created in the
   /// constructor (single-threaded) and recorded into concurrently.
   obs::Registry registry_;
+  /// Egress release-latency rollups, recorded by the topology's egress
+  /// gate (single writer: the egress owner core). 64-window budget; the
+  /// 50 ms initial width doubles as long horizons coarsen it.
+  obs::TimeSeries egress_series_{50 * 1000 * 1000, 64};
   /// Kernel execution-counter bridges, one per core, alive for the
   /// cloud's lifetime (the cores hold raw pointers). Only populated when
   /// a trace session is active at construction.

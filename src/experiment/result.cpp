@@ -49,6 +49,14 @@ bool Result::has_metric(const std::string& name) const {
                      [&](const Metric& m) { return m.name == name; });
 }
 
+void Result::add_timeseries(std::string name,
+                            obs::TimeSeriesSnapshot snapshot) {
+  SW_EXPECTS(!name.empty());
+  timeseries_.emplace_back(std::move(name), std::move(snapshot));
+  std::sort(timeseries_.begin(), timeseries_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
 void Result::set_context(
     std::uint64_t seed, bool smoke,
     std::vector<std::pair<std::string, std::string>> params) {
@@ -104,6 +112,43 @@ std::string Result::to_json(int indent) const {
     out += ",\n" + p1 + "\"note\": " + json_string(note_);
   }
 
+  // `timeseries` is deterministic across sim_shards/--jobs and must stay
+  // inside the byte-identity comparisons, so it serializes BEFORE the
+  // shard-dependent `observability` block (comparators strip everything
+  // from the observability marker onward).
+  if (!timeseries_.empty()) {
+    out += ",\n" + p1 + "\"timeseries\": {";
+    for (std::size_t i = 0; i < timeseries_.size(); ++i) {
+      const auto& [name, ts] = timeseries_[i];
+      out += (i == 0 ? "\n" : ",\n") + p2 + json_string(name) + ": {\n";
+      out += p3 + "\"window_ns\": " +
+             json_number(static_cast<std::uint64_t>(ts.window_ns)) + ",\n";
+      out += p3 + "\"budget_windows\": " + json_number(ts.budget_windows) +
+             ",\n";
+      out += p3 + "\"windows\": [";
+      for (std::size_t w = 0; w < ts.windows.size(); ++w) {
+        const auto& [start_ns, roll] = ts.windows[w];
+        out += (w == 0 ? "\n" : ",\n") + pad(indent + 8) +
+               "{\"start_ns\": " +
+               json_number(static_cast<std::uint64_t>(start_ns)) +
+               ", \"count\": " + json_number(roll.count) +
+               ", \"sum\": " + json_number(roll.sum) +
+               ", \"max\": " + json_number(roll.max) + ", \"sketch\": [";
+        const auto buckets = roll.sketch.nonzero();
+        for (std::size_t b = 0; b < buckets.size(); ++b) {
+          if (b != 0) out += ", ";
+          out += "[" +
+                 json_number(static_cast<std::uint64_t>(buckets[b].first)) +
+                 ", " + json_number(buckets[b].second) + "]";
+        }
+        out += "]}";
+      }
+      out += ts.windows.empty() ? "]\n" : "\n" + p3 + "]\n";
+      out += p2 + "}";
+    }
+    out += "\n" + p1 + "}";
+  }
+
   if (!observability_.empty()) {
     out += ",\n" + p1 + "\"observability\": {\n";
     out += p2 + "\"counters\": {";
@@ -113,6 +158,15 @@ std::string Result::to_json(int indent) const {
              json_number(value);
     }
     out += observability_.counters.empty() ? "}" : "\n" + p2 + "}";
+    if (!observability_.gauges.empty()) {
+      out += ",\n" + p2 + "\"gauges\": {";
+      for (std::size_t i = 0; i < observability_.gauges.size(); ++i) {
+        const auto& [name, value] = observability_.gauges[i];
+        out += (i == 0 ? "\n" : ",\n") + p3 + json_string(name) + ": " +
+               json_number(value);
+      }
+      out += "\n" + p2 + "}";
+    }
     if (!observability_.histograms.empty()) {
       out += ",\n" + p2 + "\"histograms\": {";
       for (std::size_t i = 0; i < observability_.histograms.size(); ++i) {

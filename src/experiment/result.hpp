@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace stopwatch::experiment {
 
@@ -53,6 +54,18 @@ class Result {
   [[nodiscard]] const obs::Snapshot& observability() const {
     return observability_;
   }
+  /// Attaches a named sim-time rollup series; serialized as the
+  /// `timeseries` block. Unlike `observability`, the block is sim-time
+  /// keyed and single-writer, so it is byte-identical across sim_shards
+  /// and --jobs and *participates* in the cross-shard identity checks
+  /// (it is serialized before `observability` so block-stripping
+  /// comparators keep it).
+  void add_timeseries(std::string name, obs::TimeSeriesSnapshot snapshot);
+  [[nodiscard]] const std::vector<std::pair<std::string,
+                                            obs::TimeSeriesSnapshot>>&
+  timeseries() const {
+    return timeseries_;
+  }
 
   [[nodiscard]] const std::string& scenario() const { return scenario_; }
   [[nodiscard]] const std::vector<Metric>& metrics() const { return metrics_; }
@@ -84,6 +97,7 @@ class Result {
   std::vector<Metric> metrics_;
   std::vector<Series> series_;
   std::string note_;
+  std::vector<std::pair<std::string, obs::TimeSeriesSnapshot>> timeseries_;
   obs::Snapshot observability_;
 };
 

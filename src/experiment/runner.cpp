@@ -15,6 +15,7 @@
 #include "common/thread_pool.hpp"
 #include "experiment/json.hpp"
 #include "experiment/registry.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace stopwatch::experiment {
@@ -35,11 +36,17 @@ constexpr std::string_view kUsage =
     "  --param <k=v>        override a scenario parameter (applies to each\n"
     "                       selected scenario that declares <k>)\n"
     "  --json <path>        write results as JSON to <path>\n"
-    "  --trace <path>       record a sim-time trace of the (single) selected\n"
-    "                       scenario as Chrome/Perfetto trace-event JSON\n"
+    "  --trace <path>       record a sim-time trace as Chrome/Perfetto\n"
+    "                       trace-event JSON; multi-scenario selections\n"
+    "                       require --jobs 1 and write one file per\n"
+    "                       scenario (<stem>.<scenario>.<ext>)\n"
     "  --trace-parallel     include shard-machinery tracks (barrier windows,\n"
     "                       per-core kernel counters) in the trace; these\n"
     "                       vary with sim_shards, unlike the default export\n"
+    "  --profile <path>     write a wall-clock self-profile (per-phase\n"
+    "                       attribution, RSS) as JSON, plus flamegraph\n"
+    "                       collapsed stacks at <path>.stacks; same\n"
+    "                       multi-scenario rule as --trace\n"
     "  --metrics            print each result's observability counters and\n"
     "                       histograms (scenarios that embed them)\n"
     "  --quiet              suppress per-metric human-readable output\n";
@@ -132,6 +139,17 @@ void run_one_scenario(const Scenario& scenario, const ParamOverrides& overrides,
 }
 
 }  // namespace
+
+std::string per_scenario_path(const std::string& path,
+                              const std::string& scenario) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  const bool dot_in_name =
+      dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash);
+  if (!dot_in_name) return path + "." + scenario;
+  return path.substr(0, dot) + "." + scenario + path.substr(dot);
+}
 
 std::vector<ScenarioOutcome> run_scenarios(
     const std::vector<const Scenario*>& selected,
@@ -234,6 +252,10 @@ bool parse_runner_options(int argc, const char* const* argv,
       options.trace_path = std::string(v);
     } else if (arg == "--trace-parallel") {
       options.trace_parallel = true;
+    } else if (arg == "--profile") {
+      std::string_view v;
+      if (!next_value(arg, v)) return false;
+      options.profile_path = std::string(v);
     } else if (arg == "--metrics") {
       options.metrics = true;
     } else if (arg == "--param") {
@@ -373,36 +395,55 @@ int run_cli(int argc, const char* const* argv) {
     std::fprintf(stderr, "error: --trace-parallel requires --trace <path>\n");
     return 2;
   }
-  std::ofstream trace_out;
+  // The trace and profile sessions are process-wide recorders the
+  // scenario's cloud (respectively the instrumented phases) capture
+  // directly, so concurrent scenarios would interleave into one recording.
+  // Sequential multi-scenario runs compose instead: export + reset between
+  // scenarios, one suffixed file each. Anything else is a named error —
+  // never a silent drop.
+  const bool tracing = !options.trace_path.empty();
+  const bool profiling = !options.profile_path.empty();
+  const bool multi = selected.size() > 1;
+  if ((tracing || profiling) && multi && options.jobs != 1) {
+    std::fprintf(stderr,
+                 "error: --trace/--profile with %zu scenarios requires "
+                 "--jobs 1 (sequential runs write per-scenario files "
+                 "<stem>.<scenario>.<ext>)\n",
+                 selected.size());
+    return 2;
+  }
   obs::TraceRecorder trace;
-  if (!options.trace_path.empty()) {
-    // The trace session is a process-wide recorder the scenario's cloud
-    // captures at construction, so one trace maps to one scenario run.
-    if (selected.size() != 1) {
-      std::fprintf(stderr,
-                   "error: --trace requires exactly one selected scenario "
-                   "(got %zu)\n",
-                   selected.size());
-      return 2;
-    }
-    trace_out.open(options.trace_path, std::ios::binary);
-    if (!trace_out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   options.trace_path.c_str());
-      return 2;
-    }
+  if (tracing) {
     obs::set_active_trace(&trace);
     trace.arm();
   }
+  obs::Profiler profiler;
+  if (profiling) {
+    obs::set_active_profiler(&profiler);
+    profiler.arm();
+  }
+
+  bool side_output_failed = false;
+  const auto write_side_file = [&](const std::string& path,
+                                   const std::string& body, const char* what,
+                                   std::size_t count) {
+    std::ofstream out(path, std::ios::binary);
+    if (out) out << body;
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "error: failed writing '%s'\n", path.c_str());
+      side_output_failed = true;
+      return;
+    }
+    std::printf("wrote %zu %s to %s\n", count, what, path.c_str());
+  };
 
   const OutcomeCallback print_outcome = [&](const ScenarioOutcome& outcome,
                                             std::size_t) {
     if (!outcome.ok) {
       std::fprintf(stderr, "error: scenario '%s' failed: %s\n",
                    outcome.name.c_str(), outcome.error.c_str());
-      return;
-    }
-    if (!options.quiet) {
+    } else if (!options.quiet) {
       print_result(outcome.result);
       if (options.metrics) print_observability(outcome.result);
       std::printf("  [%.2fs wall]\n\n", outcome.elapsed_s);
@@ -411,23 +452,52 @@ int run_cli(int argc, const char* const* argv) {
                   outcome.elapsed_s);
       if (options.metrics) print_observability(outcome.result);
     }
+    // Sequential composition: this callback runs between scenarios (and,
+    // single-scenario, once at the end), so exporting + resetting here
+    // scopes each output file to exactly one scenario run.
+    if (tracing) {
+      trace.disarm();
+      const std::string path =
+          multi ? per_scenario_path(options.trace_path, outcome.name)
+                : options.trace_path;
+      write_side_file(path, trace.export_json(options.trace_parallel),
+                      "trace event(s)", trace.event_count());
+      trace.clear();
+      trace.arm();
+    }
+    if (profiling) {
+      profiler.disarm();
+      const obs::ProfilerSnapshot snap = profiler.snapshot();
+      // Boundary samples: the scenario's own wall clock plus the process
+      // RSS right after it finished. Nondeterministic by nature, which is
+      // why they live here and never in the deterministic report.
+      const auto wall_ns =
+          static_cast<std::uint64_t>(outcome.elapsed_s * 1e9);
+      const std::string path =
+          multi ? per_scenario_path(options.profile_path, outcome.name)
+                : options.profile_path;
+      write_side_file(path,
+                      obs::profile_to_json(snap, wall_ns,
+                                           obs::process_rss_bytes(),
+                                           obs::process_rss_peak_bytes()),
+                      "profiled phase(s)", obs::kProfPhaseCount);
+      write_side_file(path + ".stacks", obs::collapsed_stacks(snap),
+                      "stack line(s)", snap.paths.size());
+      profiler.clear();
+      profiler.arm();
+    }
   };
   const std::vector<ScenarioOutcome> outcomes =
       run_scenarios(selected, overrides, options.seed, options.smoke,
                     options.jobs, print_outcome);
 
-  if (!options.trace_path.empty()) {
+  if (tracing) {
     trace.disarm();
     obs::set_active_trace(nullptr);
-    trace_out << trace.export_json(options.trace_parallel);
-    trace_out.close();
-    if (!trace_out) {
-      std::fprintf(stderr, "error: failed writing '%s'\n",
-                   options.trace_path.c_str());
-      return 1;
-    }
-    std::printf("wrote %zu trace event(s) to %s\n", trace.event_count(),
-                options.trace_path.c_str());
+  }
+  if (profiling) {
+    profiler.disarm();
+    obs::set_active_profiler(nullptr);
   }
 
   std::vector<Result> results;
@@ -456,7 +526,7 @@ int run_cli(int argc, const char* const* argv) {
     std::printf("wrote %zu result(s) to %s\n", results.size(),
                 options.json_path.c_str());
   }
-  return failures > 0 ? 1 : 0;
+  return failures > 0 || side_output_failed ? 1 : 0;
 }
 
 }  // namespace stopwatch::experiment

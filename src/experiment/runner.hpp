@@ -31,9 +31,15 @@ struct RunnerOptions {
   /// choices.
   std::vector<std::pair<std::string, std::string>> param_overrides;
   std::string json_path;
-  /// Chrome/Perfetto trace-event JSON output path. Requires exactly one
-  /// selected scenario (the trace session is process-wide).
+  /// Chrome/Perfetto trace-event JSON output path. The trace session is
+  /// process-wide, so multi-scenario selections require --jobs 1 and emit
+  /// one suffixed file per scenario (<stem>.<scenario>.<ext>).
   std::string trace_path;
+  /// Self-profile output path (wall-clock phase attribution + RSS, JSON;
+  /// collapsed stacks land at <path>.stacks). Same composition rule as
+  /// --trace: multi-scenario selections require --jobs 1 and write
+  /// per-scenario suffixed files.
+  std::string profile_path;
   /// Include shard-execution-machinery tracks (barrier windows, per-core
   /// kernel counters) in the trace. These are inherently shard-dependent,
   /// so the default export omits them to keep traces byte-identical
@@ -48,6 +54,12 @@ struct RunnerOptions {
 [[nodiscard]] bool parse_runner_options(int argc, const char* const* argv,
                                         RunnerOptions& options,
                                         std::string& error);
+
+/// The per-scenario output file a multi-scenario --trace/--profile run
+/// writes: ".<scenario>" inserted before the path's final extension
+/// ("out.json" -> "out.fig6_nfs.json"; extensionless paths just append).
+[[nodiscard]] std::string per_scenario_path(const std::string& path,
+                                            const std::string& scenario);
 
 /// One scenario's execution outcome within a runner invocation. A throwing
 /// scenario is captured here instead of aborting its siblings.

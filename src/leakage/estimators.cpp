@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/contracts.hpp"
+#include "obs/profiler.hpp"
 
 namespace stopwatch::leakage {
 
@@ -90,6 +91,7 @@ int bin_index(const std::vector<double>& edges, double x) {
 
 JointDistribution joint_from_log(const ObservationLog& log,
                                  const std::vector<double>& edges) {
+  OBS_PROF_SCOPE("leakage.estimate");
   const std::vector<int> classes = log.classes();
   SW_EXPECTS_MSG(classes.size() >= 2,
                  "mutual information needs at least two secret classes");
@@ -126,6 +128,7 @@ double entropy_bits(const std::vector<double>& p) {
 }
 
 double mutual_information_plugin(const JointDistribution& joint) {
+  OBS_PROF_SCOPE("leakage.estimate");
   SW_EXPECTS(joint.classes() >= 2 && joint.cells() >= 1);
   std::vector<double> row_marginal(static_cast<std::size_t>(joint.classes()),
                                    0.0);

@@ -69,6 +69,17 @@ class ObservationLog {
 
   [[nodiscard]] const ObservationLogConfig& config() const { return cfg_; }
 
+  /// Bytes held by the per-class reservoirs (capacity, not size: the
+  /// memory actually reserved). The accounting gauge behind
+  /// `mem.reservoir_bytes` — bounded by classes * reservoir_capacity.
+  [[nodiscard]] std::size_t reservoir_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& [cls, slot] : classes_) {
+      bytes += slot.reservoir.capacity() * sizeof(double);
+    }
+    return bytes;
+  }
+
  private:
   struct ClassSlot {
     std::uint64_t seen{0};

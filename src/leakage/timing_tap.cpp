@@ -40,7 +40,8 @@ bool TimingTap::end_trial() {
   SW_EXPECTS_MSG(trial_open_, "no trial is open");
   trial_open_ = false;
   if (!trial_saw_release_) return false;
-  log_->record(secret_class_, (last_release_ - trial_mark_).to_millis());
+  record_observation((last_release_ - trial_mark_).to_millis(),
+                     last_release_);
   return true;
 }
 
@@ -49,13 +50,23 @@ void TimingTap::on_release(std::uint32_t vm, RealTime when) {
   ++releases_;
   if (mode_ == Mode::kInterRelease) {
     if (have_last_release_) {
-      log_->record(secret_class_, (when - last_release_).to_millis());
+      record_observation((when - last_release_).to_millis(), when);
     }
   } else if (trial_open_) {
     trial_saw_release_ = true;
   }
   have_last_release_ = true;
   last_release_ = when;
+}
+
+void TimingTap::record_observation(double value_ms, RealTime at) {
+  log_->record(secret_class_, value_ms);
+  if (series_ != nullptr) {
+    // Rollups take integers: microseconds keep sub-ms structure without
+    // floating-point in the deterministic series.
+    series_->record(at.ns,
+                    static_cast<std::uint64_t>(value_ms * 1000.0));
+  }
 }
 
 }  // namespace stopwatch::leakage

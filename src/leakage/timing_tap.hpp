@@ -23,6 +23,7 @@
 #include "common/time.hpp"
 #include "core/cloud.hpp"
 #include "leakage/observation_log.hpp"
+#include "obs/timeseries.hpp"
 
 namespace stopwatch::leakage {
 
@@ -60,13 +61,25 @@ class TimingTap {
   /// Egress releases of the watched VM seen since construction.
   [[nodiscard]] std::uint64_t releases_seen() const { return releases_; }
 
+  /// Installs (or, with nullptr, removes) a sim-time rollup series that
+  /// receives every observation this tap records, in microseconds, keyed
+  /// by the simulated time of the release (kInterRelease) or the trial's
+  /// last release (kTrialDuration). Values are sim-time functions, so the
+  /// series stays byte-identical across sim_shards and --jobs.
+  void set_series(obs::TimeSeries* series) { series_ = series; }
+
  private:
   void on_release(std::uint32_t vm, RealTime when);
+
+  /// Records (class, value) into the log and, when attached, the value in
+  /// microseconds into the series at sim time `at`.
+  void record_observation(double value_ms, RealTime at);
 
   core::Cloud* cloud_;
   std::uint32_t vm_index_;
   Mode mode_;
   ObservationLog* log_;
+  obs::TimeSeries* series_{nullptr};
   int secret_class_{0};
   std::uint64_t releases_{0};
   bool have_last_release_{false};

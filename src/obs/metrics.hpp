@@ -61,15 +61,20 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
-/// End-of-run registry snapshot: counters and histograms sorted by name,
-/// ready for deterministic serialization into a Result's `observability`
-/// block.
+/// End-of-run registry snapshot: counters, gauges, and histograms sorted
+/// by name, ready for deterministic serialization into a Result's
+/// `observability` block.
 struct Snapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Level/occupancy readings (high-water marks, byte footprints) —
+  /// semantically "how much was held" vs a counter's "how often". Gauges
+  /// recorded into deterministic output must themselves be deterministic;
+  /// wall-clock/RSS readings belong in the `profile` block instead.
+  std::vector<std::pair<std::string, std::uint64_t>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 
   [[nodiscard]] bool empty() const {
-    return counters.empty() && histograms.empty();
+    return counters.empty() && gauges.empty() && histograms.empty();
   }
 };
 
@@ -87,10 +92,14 @@ class Registry {
   /// Sets a counter's end-of-run value (single-threaded; last write wins).
   void set_counter(const std::string& name, std::uint64_t value);
 
+  /// Sets a gauge's end-of-run value (single-threaded; last write wins).
+  void set_gauge(const std::string& name, std::uint64_t value);
+
   [[nodiscard]] Snapshot snapshot() const;
 
  private:
   std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::uint64_t> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "obs/profiler.hpp"
 
 namespace stopwatch::placement {
 
@@ -81,6 +82,7 @@ long theorem2_bound(int n, int c) {
 }
 
 std::vector<Triangle> theorem2_placement(int n, int c) {
+  OBS_PROF_SCOPE("placement.theorem2");
   SW_EXPECTS(n % 6 == 3);
   SW_EXPECTS(c >= 1 && c <= (n - 1) / 2);
   const BoseSystem sys = bose_construction(n);

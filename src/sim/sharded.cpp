@@ -7,6 +7,7 @@
 
 #include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/profiler.hpp"
 
 namespace stopwatch::sim {
 
@@ -90,6 +91,7 @@ std::size_t ShardedSimulator::lane_backlog() const {
 }
 
 bool ShardedSimulator::merge_lanes(std::int64_t inclusive_ns) {
+  OBS_PROF_SCOPE("sharded.merge");
   merge_scratch_.clear();
   if (drain_order_.empty()) {
     for (auto& lane : lanes_) {
@@ -136,6 +138,9 @@ void ShardedSimulator::run_window(RealTime run_to, std::int64_t end_ns) {
   // into the pool's workers.
   std::vector<std::exception_ptr> errors(cores_.size());
   if (pool_) {
+    // Submit + wait is the barrier: on the main thread this scope is the
+    // time spent waiting for the slowest core of the window.
+    OBS_PROF_SCOPE("sharded.barrier_wait");
     for (std::size_t s = 0; s < cores_.size(); ++s) {
       Simulator* core = cores_[s].get();
       std::exception_ptr* slot = &errors[s];

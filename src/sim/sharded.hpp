@@ -114,6 +114,11 @@ class ShardedSimulator {
   [[nodiscard]] std::uint64_t max_merge_batch() const {
     return max_merge_batch_;
   }
+  /// Peak bytes held across all cross-shard lanes at a barrier (the
+  /// memory-accounting gauge behind `mem.lane_bytes_highwater`).
+  [[nodiscard]] std::uint64_t lane_bytes_highwater() const {
+    return max_merge_batch_ * sizeof(LaneEntry);
+  }
 
   /// Installs (or, with nullptr, removes) a histogram receiving the size
   /// of each non-empty barrier merge batch. Recorded on the main thread

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "obs/profiler.hpp"
 
 namespace stopwatch::sim {
 
@@ -50,6 +51,7 @@ EventId Simulator::schedule_impl(std::int64_t at_ns, Task&& cb) {
   rec.seq = next_seq_++;
   place(slot, rec);
   ++live_;
+  if (live_ > stats_.max_live) stats_.max_live = live_;
   ++stats_.scheduled;
   return EventId{slot, rec.gen};
 }
@@ -164,6 +166,7 @@ void Simulator::place(std::uint32_t slot, Record& rec) {
     ++stats_.placed_far;
     far_.push_back(HeapEntry{rec.at_ns, rec.seq, slot, rec.gen});
     std::push_heap(far_.begin(), far_.end(), HeapLater{});
+    if (far_.size() > stats_.max_far) stats_.max_far = far_.size();
     return;
   }
   ++stats_.placed_wheel;
@@ -213,6 +216,7 @@ bool Simulator::entry_live(const HeapEntry& e) const {
 
 void Simulator::due_pop() {
   if (due_sorted_) {
+    ++stats_.due_sorted_pops;
     if (++due_head_ == due_.size()) {
       due_.clear();
       due_head_ = 0;
@@ -241,6 +245,7 @@ void Simulator::due_push_entry(const HeapEntry& e) {
     }
     // Out-of-order arrival mid-drain: shed the consumed prefix and finish
     // this drain in heap order.
+    OBS_PROF_SCOPE("sim.due_fallback");
     due_.erase(due_.begin(),
                due_.begin() + static_cast<std::ptrdiff_t>(due_head_));
     due_head_ = 0;
@@ -251,7 +256,9 @@ void Simulator::due_push_entry(const HeapEntry& e) {
   } else {
     due_.push_back(e);
     std::push_heap(due_.begin(), due_.end(), HeapLater{});
+    ++stats_.due_fallback_pushes;
   }
+  if (due_.size() > stats_.max_due) stats_.max_due = due_.size();
 }
 
 void Simulator::due_compact() {
@@ -326,6 +333,7 @@ void Simulator::flush_bucket(int level, std::uint32_t bucket) {
         std::sort(due_.begin(), due_.end(), ascending);
       }
     }
+    if (due_.size() > stats_.max_due) stats_.max_due = due_.size();
     return;
   }
   while (walk != kNil) {
@@ -338,6 +346,7 @@ void Simulator::flush_bucket(int level, std::uint32_t bucket) {
 }
 
 void Simulator::advance_wheel() {
+  OBS_PROF_SCOPE("sim.harvest");
   // Skim stale far-heap tops so the far candidate below is a real event
   // (zero stale entries — the common case — skips the record loads).
   while (far_stale_ > 0 && !far_.empty() && !entry_live(far_.front())) {

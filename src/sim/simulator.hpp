@@ -66,6 +66,17 @@ struct KernelStats {
   std::uint64_t rescheduled{0};
   /// Out-of-order due-array pushes that flipped the drain into heap mode.
   std::uint64_t heap_fallbacks{0};
+  /// Pops served by the sorted-array fast path (O(1), no sifting).
+  std::uint64_t due_sorted_pops{0};
+  /// Pushes absorbed while the due structure was in heap-fallback mode
+  /// (each one sifts). due_sorted_pops vs due_fallback_pushes is the
+  /// retire-the-fallback evidence the ROADMAP item asks for.
+  std::uint64_t due_fallback_pushes{0};
+  /// Occupancy high-water marks (memory accounting gauges): live events,
+  /// due-structure entries, far-heap entries.
+  std::uint64_t max_live{0};
+  std::uint64_t max_due{0};
+  std::uint64_t max_far{0};
   /// Placements by destination structure. Counts every place() — initial
   /// schedules plus refiles from wheel cascades and far-heap pulls — so
   /// (placed_wheel + placed_far) - scheduled measures refile traffic.
@@ -148,6 +159,12 @@ class Simulator {
   /// Size of the slab arena (live + free slots) — the churn tests assert
   /// this stays flat while events are recycled.
   [[nodiscard]] std::size_t arena_slots() const { return slab_size_; }
+
+  /// Bytes held by the slab arena (chunks never shrink) — the memory-
+  /// accounting gauge behind `mem.arena_bytes`.
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return chunks_.size() * (std::size_t{1} << kChunkBits) * sizeof(Record);
+  }
 
   /// Always-on scheduling/placement counters (see KernelStats).
   [[nodiscard]] const KernelStats& kernel_stats() const { return stats_; }

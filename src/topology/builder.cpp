@@ -5,6 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
+#include "obs/profiler.hpp"
 
 namespace stopwatch::topology {
 
@@ -453,6 +454,7 @@ void TopologyBuilder::on_egress_frame(const net::Frame& frame) {
   auto& slot = entry.egress_slots[out->out_seq];
   if (slot.copies == 0) {
     slot.hash = out->content_hash;
+    slot.first_copy_ns = sim_->now().ns;
   } else if (slot.hash != out->content_hash) {
     ++entry.egress_stats.hash_mismatches;
   }
@@ -469,10 +471,21 @@ void TopologyBuilder::on_egress_frame(const net::Frame& frame) {
   const int release_at =
       policy_->egress_release_copies(static_cast<int>(entry.replicas.size()));
   if (!slot.released && slot.copies >= release_at) {
+    OBS_PROF_SCOPE("policy.release");
     slot.released = true;
     ++entry.egress_stats.packets_released;
     const Duration hold =
         policy_->egress_release_delay(out->vm.value, sim_->now());
+    if (egress_series_ != nullptr) {
+      // Sample at gating time for both the inline and the held path: the
+      // release instant is already decided here, so the rollup stays a
+      // pure function of sim time (byte-identical across shard counts).
+      const std::int64_t released_at =
+          sim_->now().ns + std::max<std::int64_t>(hold.ns, 0);
+      egress_series_->record(
+          released_at,
+          static_cast<std::uint64_t>(released_at - slot.first_copy_ns));
+    }
     if (hold.ns <= 0) {
       if (egress_track_ != nullptr) {
         egress_track_->instant(sim_->now().ns, "release", "vm",

@@ -37,6 +37,7 @@
 #include "hypervisor/policy.hpp"
 #include "net/multicast.hpp"
 #include "net/network.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
@@ -129,6 +130,16 @@ class TopologyBuilder {
     return static_cast<bool>(egress_tap_);
   }
 
+  /// Installs (or, with nullptr, removes) the sim-time rollup series fed
+  /// one sample per egress release: the span from the first replica copy's
+  /// arrival at the gate to the policy's release instant, in ns, keyed by
+  /// the release time. Written only from the egress node's owner core
+  /// (core 0) — the same single-writer discipline as egress_track_ — so
+  /// the series is byte-identical across shard counts.
+  void set_egress_latency_series(obs::TimeSeries* series) {
+    egress_series_ = series;
+  }
+
   // --- Introspection ---
 
   [[nodiscard]] int effective_replicas() const {
@@ -187,6 +198,9 @@ class TopologyBuilder {
       int copies{0};
       std::uint64_t hash{0};
       bool released{false};
+      /// Arrival time of the first replica copy — the base of the
+      /// release-latency sample fed to the egress latency series.
+      std::int64_t first_copy_ns{0};
     };
     std::map<std::uint64_t, EgressSlot> egress_slots;
     EgressStats egress_stats;
@@ -215,6 +229,8 @@ class TopologyBuilder {
   /// Egress-gate track (pid 0/tid 0): replica copies, holds, releases.
   /// Written only from the egress node's owner core (core 0).
   obs::TraceTrack* egress_track_{nullptr};
+  /// Release-latency rollups (null = off); single-writer, see setter.
+  obs::TimeSeries* egress_series_{nullptr};
   EgressTap egress_tap_;
   sim::Simulator* sim_;
   sim::ShardedSimulator* sharded_{nullptr};

@@ -15,6 +15,7 @@
 #include "experiment/json.hpp"
 #include "experiment/result.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace stopwatch::experiment {
 namespace {
@@ -127,6 +128,42 @@ TEST(BenchReport, ObservabilityBlockIsIgnoredByTheDiff) {
   EXPECT_EQ(diff.deltas[0].delta_fraction, 0.0);
 }
 
+TEST(BenchReport, TimeSeriesAndGaugeBlocksAreIgnoredByTheDiff) {
+  // Reports may now carry a `timeseries` block (sim-time rollups) and
+  // memory gauges inside `observability`. Like the counters, neither is
+  // a trajectory metric: a report with both blocks must diff clean
+  // against the same metrics without them.
+  Result r("scn");
+  r.add_metric("lat", 100.0, "ns/op");
+  r.set_context(/*seed=*/1, /*smoke=*/true, {});
+  obs::TimeSeries series(1000, 8);
+  series.record(500, 42);
+  series.record(1500, 99);
+  r.add_timeseries("egress.release_latency_ns", series.snapshot());
+  obs::Registry registry;
+  registry.set_gauge("mem.arena_bytes", 1 << 20);
+  r.set_observability(registry.snapshot());
+  std::vector<Result> results;
+  results.push_back(std::move(r));
+  const std::string with_blocks = report_to_json(results);
+  ASSERT_NE(with_blocks.find("\"timeseries\""), std::string::npos);
+  ASSERT_NE(with_blocks.find("\"gauges\""), std::string::npos);
+
+  BenchReport parsed;
+  std::string error;
+  ASSERT_TRUE(parse_bench_report(with_blocks, parsed, error)) << error;
+  BenchReport plain;
+  ASSERT_TRUE(parse_bench_report(
+      make_report({{"scn", {{"lat", 100.0, "ns/op"}}}}), plain, error))
+      << error;
+  const DiffReport diff = diff_reports(plain, parsed, {.threshold = 0.10});
+  EXPECT_TRUE(diff.passed());
+  EXPECT_TRUE(diff.missing_in_candidate.empty());
+  EXPECT_TRUE(diff.new_in_candidate.empty());
+  ASSERT_EQ(diff.deltas.size(), 1u);
+  EXPECT_EQ(diff.deltas[0].metric, "lat");
+}
+
 BenchReport report_with(const std::vector<BenchMetric>& metrics) {
   BenchReport report;
   report.schema = "stopwatch-bench/1";
@@ -179,6 +216,36 @@ TEST(DiffGate, UngatedMetricsNeverFailTheGate) {
     EXPECT_FALSE(d.gated) << d.metric;
     EXPECT_FALSE(d.regression) << d.metric;
   }
+}
+
+TEST(DiffGate, WallClockRatioAndByteClassMetricsNeverGate) {
+  // The self-profiling PR adds wall-clock-adjacent metrics: overhead
+  // ratios (unit "x", e.g. profiling_disabled_overhead_ratio) and memory
+  // sizes (unit "bytes"). Only the "ns"/"ns/..." classes gate — a 100x
+  // swing in a ratio or an RSS-like byte count is visible in the table
+  // but can never fail the trajectory gate.
+  const BenchReport baseline =
+      report_with({{"profiling_disabled_overhead_ratio", 1.0, "x"},
+                   {"rss_like", 1000.0, "bytes"},
+                   {"lat", 100.0, "ns/op"}});
+  const DiffReport report = diff_reports(
+      baseline,
+      report_with({{"profiling_disabled_overhead_ratio", 100.0, "x"},
+                   {"rss_like", 100000.0, "bytes"},
+                   {"lat", 100.0, "ns/op"}}),
+      {.threshold = 0.02});
+  EXPECT_TRUE(report.passed());
+  EXPECT_EQ(report.regressions, 0u);
+  for (const MetricDelta& d : report.deltas) {
+    if (d.metric != "lat") {
+      EXPECT_FALSE(d.gated) << d.metric;
+      EXPECT_FALSE(d.regression) << d.metric;
+    }
+  }
+  // The swings still show in the rendering (behavior-change signal).
+  EXPECT_NE(render_diff_table(report, {.threshold = 0.02})
+                .find("profiling_disabled_overhead_ratio"),
+            std::string::npos);
 }
 
 TEST(DiffGate, BitsMetricsAreReportedButNeverGated) {

@@ -128,6 +128,27 @@ std::string strip_observability(std::string json) {
   return json;
 }
 
+TEST(Observability, Fig7ShardCountsByteIdenticalOutsideTheBlock) {
+  // fig7_parsec grows the same sim_shards knob as fig6_nfs: lazy wiring +
+  // explicit activation keeps the code path identical whatever the shard
+  // count, so the report differs only in the stripped shard-dependent
+  // block and the knob's own context stamp.
+  const auto run_with = [](const std::string& shards) {
+    Result r = ScenarioRegistry::instance().run(
+        "fig7_parsec", /*seed=*/17, /*smoke=*/true,
+        {{"app_count", "1"}, {"runs_per_app", "1"}, {"sim_shards", shards}});
+    std::string json = strip_observability(r.to_json());
+    const std::string stamp = "\"sim_shards\": " + shards;
+    const std::size_t at = json.find(stamp);
+    EXPECT_NE(at, std::string::npos) << json.substr(0, 400);
+    json.replace(at, stamp.size(), "\"sim_shards\": _");
+    return json;
+  };
+  const std::string one = run_with("1");
+  const std::string four = run_with("4");
+  EXPECT_EQ(one, four);
+}
+
 TEST(Observability, Fig6ShardCountsByteIdenticalOutsideTheBlock) {
   // The lazily-wired fig6_nfs grows the sim_shards knob: same bytes on 1
   // and 2 simulator cores once the shard-dependent block is stripped.
