@@ -52,18 +52,23 @@ using leakage::TimingTap;
 constexpr std::size_t kReservoir = 8192;
 
 core::CloudConfig workload_cloud_config(core::Policy policy,
-                                        std::uint64_t seed) {
+                                        std::uint64_t seed, int shards) {
   core::CloudConfig cfg;
   cfg.seed = seed;
   cfg.policy = policy;
   cfg.machine_count = 3;
+  // Lazy wiring + an explicit activation set: the single guest VM spreads
+  // across the configured simulator cores exactly like placement_e2e, and
+  // the report stays byte-identical across shard counts.
+  cfg.wiring = core::WiringMode::kLazy;
+  cfg.sim_shards = shards;
   return cfg;
 }
 
 /// File retrieval: secret = file size class {24, 72, 144} KiB.
 ObservationLog run_file(core::Policy policy, std::uint64_t seed, int trials,
-                        obs::TimeSeries* series) {
-  core::Cloud cloud(workload_cloud_config(policy, seed));
+                        int shards, obs::TimeSeries* series) {
+  core::Cloud cloud(workload_cloud_config(policy, seed, shards));
   const core::VmHandle vm = cloud.add_vm(
       "fileserver",
       [] { return std::make_unique<workload::FileServerProgram>(); },
@@ -75,6 +80,7 @@ ObservationLog run_file(core::Policy policy, std::uint64_t seed, int trials,
   ObservationLog log(ObservationLogConfig{seed, kReservoir});
   TimingTap tap(cloud, vm, TimingTap::Mode::kTrialDuration, log);
   tap.set_series(series);
+  cloud.activate_sharded({vm});
   cloud.start();
 
   const std::uint32_t sizes[] = {24 << 10, 72 << 10, 144 << 10};
@@ -94,9 +100,9 @@ ObservationLog run_file(core::Policy policy, std::uint64_t seed, int trials,
 /// NFS: secret = operation type the client is issuing {getattr, read,
 /// write}, one single-op load window per class per round.
 ObservationLog run_nfs(core::Policy policy, std::uint64_t seed,
-                       double window_s, int rounds,
+                       double window_s, int rounds, int shards,
                        obs::TimeSeries* series) {
-  core::CloudConfig cfg = workload_cloud_config(policy, seed);
+  core::CloudConfig cfg = workload_cloud_config(policy, seed, shards);
   if (hypervisor::policy_replicated(policy)) {
     cfg.policy.stopwatch.delta_n = Duration::millis(7);
     cfg.policy.stopwatch.delta_d = Duration::millis(10);
@@ -111,6 +117,7 @@ ObservationLog run_nfs(core::Policy policy, std::uint64_t seed,
   ObservationLog log(ObservationLogConfig{seed, kReservoir});
   TimingTap tap(cloud, vm, TimingTap::Mode::kInterRelease, log);
   tap.set_series(series);
+  cloud.activate_sharded({vm});
   cloud.start();
 
   const workload::NfsOp ops[] = {workload::NfsOp::kGetattr,
@@ -142,7 +149,7 @@ ObservationLog run_nfs(core::Policy policy, std::uint64_t seed,
 /// PARSEC: secret = which application ran; ferret vs blackscholes are the
 /// suite's two closest baseline runtimes, so the classes genuinely overlap.
 ObservationLog run_parsec(core::Policy policy, std::uint64_t seed, int trials,
-                          obs::TimeSeries* series) {
+                          int shards, obs::TimeSeries* series) {
   const auto& suite = workload::parsec_suite();
   const workload::ParsecAppSpec apps[] = {suite[0], suite[1]};
 
@@ -152,7 +159,8 @@ ObservationLog run_parsec(core::Policy policy, std::uint64_t seed, int trials,
       core::Cloud cloud(workload_cloud_config(
           policy,
           seed ^ (static_cast<std::uint64_t>(t) * 8 +
-                  static_cast<std::uint64_t>(c) + 1)));
+                  static_cast<std::uint64_t>(c) + 1),
+          shards));
       bool done = false;
       const NodeId collector = cloud.add_external_node(
           "collector", [&done](const net::Packet&) { done = true; });
@@ -168,6 +176,7 @@ ObservationLog run_parsec(core::Policy policy, std::uint64_t seed, int trials,
       TimingTap tap(cloud, vm, TimingTap::Mode::kTrialDuration, log);
       tap.set_series(series);
       tap.begin_trial(c);
+      cloud.activate_sharded({vm});
       cloud.start();
       while (!done) cloud.run_for(Duration::millis(50));
       tap.end_trial();
@@ -191,6 +200,7 @@ Result run(const ScenarioContext& ctx) {
   const double window_s = ctx.param("nfs_window_s");
   const int nfs_rounds = ctx.param_int("nfs_rounds");
   const int bins = ctx.param_int("bins");
+  const int shards = ctx.param_int("sim_shards");
   const leakage::BinningMode mode =
       leakage::binning_mode_from_choice(ctx.param_choice("binning"));
 
@@ -203,15 +213,15 @@ Result run(const ScenarioContext& ctx) {
   const std::vector<Row> rows = {
       {"file",
        [&](core::Policy p, std::uint64_t s, obs::TimeSeries* ts) {
-         return run_file(p, s, trials, ts);
+         return run_file(p, s, trials, shards, ts);
        }},
       {"nfs",
        [&](core::Policy p, std::uint64_t s, obs::TimeSeries* ts) {
-         return run_nfs(p, s, window_s, nfs_rounds, ts);
+         return run_nfs(p, s, window_s, nfs_rounds, shards, ts);
        }},
       {"parsec",
        [&](core::Policy p, std::uint64_t s, obs::TimeSeries* ts) {
-         return run_parsec(p, s, parsec_trials, ts);
+         return run_parsec(p, s, parsec_trials, shards, ts);
        }},
   };
 
@@ -288,6 +298,10 @@ Result run(const ScenarioContext& ctx) {
              .with_int_range(1, 100),
          ParamSpec{"bins", "observation cells for the estimators", 12.0}
              .with_int_range(4, 128),
+         ParamSpec{"sim_shards", "simulator cores (output is byte-identical "
+                                 "across values)",
+                   1.0, 1.0}
+             .with_int_range(1, 64),
          binning_param(), policy_param()},
     .deterministic = true,
     .run = run,

@@ -32,6 +32,7 @@
 #include "experiment/registry.hpp"
 #include "obs/profiler.hpp"
 #include "placement/placement.hpp"
+#include "sim/sharded.hpp"
 
 namespace stopwatch::bench {
 namespace {
@@ -153,6 +154,9 @@ Result run(const ScenarioContext& ctx) {
   cfg.machine_count = n;
   cfg.wiring = core::WiringMode::kLazy;
   cfg.sim_shards = ctx.param_int("sim_shards");
+  cfg.shard_window_policy = ctx.param_choice("shard_window") == "fixed"
+                                ? sim::WindowPolicy::kFixed
+                                : sim::WindowPolicy::kAdaptive;
 
   core::Cloud cloud(cfg);
   std::vector<core::VmHandle> vms;
@@ -339,7 +343,12 @@ Result run(const ScenarioContext& ctx) {
          ParamSpec{"sim_shards", "simulator cores (output is byte-identical "
                                  "across values)",
                    1.0, 1.0}
-             .with_int_range(1, 64)},
+             .with_int_range(1, 64),
+         ParamSpec::enumeration(
+             "shard_window",
+             "barrier window policy (output is byte-identical across "
+             "policies)",
+             "adaptive", {"fixed", "adaptive"})},
     .deterministic = true,
     .run = run,
 }};

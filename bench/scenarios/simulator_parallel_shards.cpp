@@ -34,6 +34,8 @@ struct WorkloadStats {
   double wall_ns{0.0};
   std::uint64_t events{0};
   std::uint64_t crossed{0};
+  std::uint64_t barriers{0};
+  std::uint64_t adaptive_extensions{0};
 };
 
 /// Runs `chains` self-rescheduling chains per shard until `horizon`, every
@@ -41,14 +43,29 @@ struct WorkloadStats {
 /// protocol (with one shard that handoff degenerates to a self-schedule,
 /// keeping the event count identical across shard counts).
 WorkloadStats run_workload(int shards, int chains, Duration horizon,
-                           Duration window) {
+                           Duration window, sim::WindowPolicy policy) {
   sim::ShardedConfig cfg;
   cfg.shards = shards;
   cfg.window = window;
+  cfg.policy = policy;
   sim::ShardedSimulator sharded(cfg);
 
   const std::int64_t horizon_ns = horizon.ns;
   const Duration hop = Duration::nanos(2 * window.ns);
+  // The only cross-shard traffic is the ring handoff to shard s+1, and
+  // every handoff lands exactly `hop` past the sender's clock — declare
+  // that floor so the adaptive policy can widen windows beyond the
+  // conservative default; all other pairs never exchange events.
+  for (int s = 0; shards > 1 && s < shards; ++s) {
+    for (int d = 0; d < shards; ++d) {
+      if (d == s) continue;
+      if (d == (s + 1) % shards) {
+        sharded.set_lookahead(s, d, hop);
+      } else {
+        sharded.set_lookahead_unreachable(s, d);
+      }
+    }
+  }
   for (int s = 0; s < shards; ++s) {
     sim::Simulator& core = sharded.shard(s);
     for (int c = 0; c < chains; ++c) {
@@ -84,6 +101,8 @@ WorkloadStats run_workload(int shards, int chains, Duration horizon,
   stats.wall_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
   stats.events = sharded.events_executed();
   stats.crossed = sharded.cross_scheduled();
+  stats.barriers = sharded.barriers();
+  stats.adaptive_extensions = sharded.adaptive_extensions();
   return stats;
 }
 
@@ -93,18 +112,25 @@ Result run(const ScenarioContext& ctx) {
   const auto horizon =
       Duration::from_seconds_f(ctx.param("horizon_ms") / 1000.0);
   const Duration window = Duration::micros(20);
+  const sim::WindowPolicy policy =
+      ctx.param_choice("shard_window") == "fixed" ? sim::WindowPolicy::kFixed
+                                                  : sim::WindowPolicy::kAdaptive;
 
   // Same aggregate chain count on both kernels: the sequential run hosts
   // all shards * chains chains on its one core.
   const WorkloadStats seq =
-      run_workload(1, shards * chains, horizon, window);
-  const WorkloadStats par = run_workload(shards, chains, horizon, window);
+      run_workload(1, shards * chains, horizon, window, policy);
+  const WorkloadStats par =
+      run_workload(shards, chains, horizon, window, policy);
 
   Result result("simulator_parallel_shards");
   result.add_metric("shards", shards, "cores");
   result.add_metric("events_total", static_cast<double>(par.events), "events");
   result.add_metric("cross_shard_events", static_cast<double>(par.crossed),
                     "events");
+  result.add_metric("barriers", static_cast<double>(par.barriers), "windows");
+  result.add_metric("adaptive_extensions",
+                    static_cast<double>(par.adaptive_extensions), "windows");
   result.add_metric("ns_per_event_sequential",
                     seq.wall_ns / static_cast<double>(seq.events), "ns/event");
   result.add_metric("ns_per_event_parallel",
@@ -134,7 +160,10 @@ Result run(const ScenarioContext& ctx) {
                          "self-rescheduling timer chains per core", 64.0, 16.0}
                    .with_int_range(1, 4096),
                ParamSpec{"horizon_ms", "simulated milliseconds", 40.0, 4.0}
-                   .with_range(0.1, 10000)},
+                   .with_range(0.1, 10000),
+               ParamSpec::enumeration(
+                   "shard_window", "barrier window policy", "adaptive",
+                   {"fixed", "adaptive"})},
     .deterministic = false,
     .run = run,
 }};

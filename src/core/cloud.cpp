@@ -118,6 +118,11 @@ NodeId Cloud::add_external_node(std::string name, PacketHandler on_packet) {
   // One node-scoped link entry covers this endpoint's traffic with every
   // VM ingress, machine, and the egress — no per-VM fan-out.
   net_.set_node_link(id, cfg_.client_link);
+  external_nodes_.push_back(id);
+  // Externals live on the driver core (the egress shard once a plan is
+  // active): client sends, replies, and the egress release path all stay
+  // off the worker cores' critical path.
+  if (driver_shard_ != 0) net_.set_node_owner(id, driver_shard_);
   return id;
 }
 
@@ -152,6 +157,45 @@ void Cloud::activate_sharded(const std::vector<VmHandle>& driven) {
       sharded_,
       topology::ShardPlan::build(cfg_.sim_shards, cfg_.machine_count, groups),
       indices);
+  // Egress + externals move off core 0 together: the builder re-homed the
+  // egress node onto the plan's egress shard, and every external endpoint
+  // (plus all future driver scheduling via simulator()) follows it.
+  driver_shard_ = topo_->shard_plan().egress_shard();
+  for (const NodeId id : external_nodes_) {
+    net_.set_node_owner(id, driver_shard_);
+  }
+  // Per-pair lookahead floors for the adaptive window policy. The cloud's
+  // cross-shard traffic is hub-and-spoke around the egress shard: worker
+  // shards reach it over the datacenter fabric (tunneled output to the
+  // egress gate) or the client link (direct replies to externals), and it
+  // reaches worker shards only through client requests on the client
+  // link, whose latency floor is typically an order of magnitude above
+  // the fabric's — that asymmetry is what lets worker shards run windows
+  // far wider than the uniform floor. Worker shards never exchange
+  // traffic with each other: VMs sharing a machine share its shard (the
+  // plan union-finds co-resident VMs), so guest traffic can only cross
+  // shards via an external endpoint. The per-entry contract still
+  // validates every cross event against the granted bound, so a workload
+  // that breaks this shape fails loudly and can fall back to
+  // shard_window=fixed.
+  const int shards = sharded_.shard_count();
+  const Duration to_egress = std::min(cfg_.cloud_link.min_latency(),
+                                      cfg_.client_link.min_latency());
+  const Duration from_egress = cfg_.client_link.min_latency();
+  if (shards > 1 && to_egress.ns > 0 && from_egress.ns > 0) {
+    for (int s = 0; s < shards; ++s) {
+      for (int d = 0; d < shards; ++d) {
+        if (s == d) continue;
+        if (d == driver_shard_) {
+          sharded_.set_lookahead(s, d, to_egress);
+        } else if (s == driver_shard_) {
+          sharded_.set_lookahead(s, d, from_egress);
+        } else {
+          sharded_.set_lookahead_unreachable(s, d);
+        }
+      }
+    }
+  }
 }
 
 void Cloud::run_for(Duration d) {
@@ -172,6 +216,7 @@ void Cloud::run_for(Duration d) {
                    "shard-parallel run needs a positive lookahead window "
                    "(a zero-latency link defeats conservative windowing)");
     sharded_.set_window(window);
+    sharded_.set_window_policy(cfg_.shard_window_policy);
   }
   sharded_.run_until(sharded_.now() + d);
 }
@@ -258,6 +303,10 @@ obs::Snapshot Cloud::observability() {
   registry_.set_counter("sharded.barriers", sharded_.barriers());
   registry_.set_counter("sharded.cross_scheduled", sharded_.cross_scheduled());
   registry_.set_counter("sharded.max_merge_batch", sharded_.max_merge_batch());
+  registry_.set_counter("sharded.window_ns",
+                        static_cast<std::uint64_t>(sharded_.window().ns));
+  registry_.set_counter("sharded.adaptive_extensions",
+                        sharded_.adaptive_extensions());
 
   for (std::size_t c = 0; c < net::Network::kFrameClasses; ++c) {
     registry_.set_counter(std::string("net.frames_sent.") + kClassNames[c],

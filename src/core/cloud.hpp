@@ -99,6 +99,12 @@ struct CloudConfig {
   /// conservative-lookahead bound; a positive value only ever clamps it
   /// further down (diagnostics / barrier-stress testing).
   Duration shard_window{};
+  /// Barrier placement policy for shard-parallel runs. kAdaptive (the
+  /// default) pushes each barrier to the realized safe bound (earliest
+  /// pending event + lookahead) — same event orders, far fewer barriers
+  /// on idle-heavy workloads; kFixed is the PR 7 fixed-width reference
+  /// (--param shard_window=fixed on the sim_shards scenarios).
+  sim::WindowPolicy shard_window_policy{sim::WindowPolicy::kAdaptive};
 };
 
 /// Opaque handle to a guest VM in the cloud.
@@ -166,9 +172,13 @@ class Cloud {
 
   // --- Introspection ---
 
-  /// Shard 0's core — the home of every external node, the egress, and
-  /// (unsharded) everything else. Client-side drivers schedule here.
-  [[nodiscard]] sim::Simulator& simulator() { return sharded_.shard(0); }
+  /// The driver core — the core owning every external node and the egress
+  /// gateway (shard 0 until activate_sharded moves them to the plan's
+  /// egress shard; always shard 0 unsharded). Client-side drivers
+  /// schedule here, which keeps external-node state single-core.
+  [[nodiscard]] sim::Simulator& simulator() {
+    return sharded_.shard(driver_shard_);
+  }
   /// The sharded kernel itself (shard_count() == 1 unless configured up).
   [[nodiscard]] sim::ShardedSimulator& sharded() { return sharded_; }
   /// Events executed across all cores.
@@ -237,6 +247,12 @@ class Cloud {
   /// span construction. Null / unset when tracing is off.
   obs::TraceTrack* barrier_track_{nullptr};
   std::int64_t prev_barrier_ns_{-1};
+  /// External endpoints registered so far; activate_sharded re-homes them
+  /// (with the egress) onto the plan's egress shard.
+  std::vector<NodeId> external_nodes_;
+  /// Core that owns externals + egress — what simulator() returns. 0
+  /// until activate_sharded installs the plan's egress shard.
+  int driver_shard_{0};
   bool started_{false};
 };
 

@@ -1,6 +1,9 @@
 #include "placement/placement.hpp"
 
 #include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <utility>
 
@@ -68,6 +71,43 @@ BoseSystem bose_construction(int n) {
   return sys;
 }
 
+namespace {
+
+// unique_ptr values keep each system's address stable across later map
+// insertions, so references handed out under the lock stay valid after it
+// is released. Guarded by a mutex rather than thread_local (cf. the
+// chi-squared memo): a Bose system for n=201 is ~100 KB, and the parallel
+// scenario runner would otherwise rebuild it once per worker thread.
+struct BoseCache {
+  std::mutex mutex;
+  std::map<int, std::unique_ptr<BoseSystem>> by_n;
+};
+
+BoseCache& bose_cache() {
+  static BoseCache cache;
+  return cache;
+}
+
+}  // namespace
+
+const BoseSystem& bose_construction_cached(int n) {
+  BoseCache& cache = bose_cache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  auto it = cache.by_n.find(n);
+  if (it == cache.by_n.end()) {
+    it = cache.by_n
+             .emplace(n, std::make_unique<BoseSystem>(bose_construction(n)))
+             .first;
+  }
+  return *it->second;
+}
+
+void bose_cache_clear() {
+  BoseCache& cache = bose_cache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.by_n.clear();
+}
+
 long theorem2_bound(int n, int c) {
   SW_EXPECTS(n % 6 == 3);
   SW_EXPECTS(c >= 1 && c <= (n - 1) / 2);
@@ -85,12 +125,13 @@ std::vector<Triangle> theorem2_placement(int n, int c) {
   OBS_PROF_SCOPE("placement.theorem2");
   SW_EXPECTS(n % 6 == 3);
   SW_EXPECTS(c >= 1 && c <= (n - 1) / 2);
-  const BoseSystem sys = bose_construction(n);
+  const BoseSystem& sys = bose_construction_cached(n);
   const int q = 2 * sys.v + 1;
   const Quasigroup Q(q);
   const auto node = [q](int a, int l) { return a + l * q; };
 
   std::vector<Triangle> placed;
+  placed.reserve(static_cast<std::size_t>(theorem2_bound(n, c)));
   const auto take_groups = [&](int count) {
     for (int t = 1; t <= count; ++t) {
       const auto& g = sys.gt[static_cast<std::size_t>(t - 1)];

@@ -57,6 +57,17 @@ struct BoseSystem {
 };
 [[nodiscard]] BoseSystem bose_construction(int n);
 
+/// Memoized view of bose_construction(n), shared process-wide behind a
+/// mutex (the parallel scenario runner calls theorem2_placement from many
+/// worker threads at once). The returned reference is heap-backed and
+/// never evicted, so it stays valid across later insertions; reading the
+/// system concurrently is safe — it is immutable once built.
+[[nodiscard]] const BoseSystem& bose_construction_cached(int n);
+
+/// Drops every cached Bose system. Single-threaded contexts only (bench
+/// cold-path isolation and tests); outstanding references die with it.
+void bose_cache_clear();
+
 /// Theorem 2: constructive capacity-constrained placement. Requires
 /// n ≡ 3 (mod 6) and 1 <= c <= (n-1)/2. Returns edge-disjoint triangles
 /// such that no machine appears in more than c of them, of the size the

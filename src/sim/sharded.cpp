@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -22,8 +24,14 @@ ShardedSimulator::ShardedSimulator(ShardedConfig cfg) : cfg_(cfg) {
   lanes_.resize(k * k);
   lane_seq_.assign(k, 0);
   if (cfg_.shards > 1 && cfg_.threads != 1) {
-    const std::size_t threads = cfg_.threads == 0 ? k : cfg_.threads;
-    pool_ = std::make_unique<ThreadPool>(threads);
+    // hardware_concurrency() == 0 means "unknown" — assume enough cores.
+    const std::size_t host =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency() == 0
+                                     ? k
+                                     : std::thread::hardware_concurrency());
+    const std::size_t threads =
+        cfg_.threads == 0 ? std::min(k, host) : cfg_.threads;
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   }
 }
 
@@ -33,6 +41,40 @@ void ShardedSimulator::set_window(Duration w) {
   SW_EXPECTS(!running_);
   SW_EXPECTS(w.ns > 0);
   cfg_.window = w;
+}
+
+void ShardedSimulator::set_window_policy(WindowPolicy policy) {
+  SW_EXPECTS(!running_);
+  cfg_.policy = policy;
+}
+
+void ShardedSimulator::set_lookahead(int src, int dst, Duration floor) {
+  SW_EXPECTS(!running_);
+  SW_EXPECTS(src >= 0 && src < cfg_.shards);
+  SW_EXPECTS(dst >= 0 && dst < cfg_.shards);
+  SW_EXPECTS(floor.ns > 0);
+  const auto k = static_cast<std::size_t>(cfg_.shards);
+  if (lookahead_.empty()) lookahead_.assign(k * k, -1);
+  lookahead_[static_cast<std::size_t>(src) * k +
+             static_cast<std::size_t>(dst)] = floor.ns;
+}
+
+void ShardedSimulator::set_lookahead_unreachable(int src, int dst) {
+  SW_EXPECTS(!running_);
+  SW_EXPECTS(src >= 0 && src < cfg_.shards);
+  SW_EXPECTS(dst >= 0 && dst < cfg_.shards);
+  const auto k = static_cast<std::size_t>(cfg_.shards);
+  if (lookahead_.empty()) lookahead_.assign(k * k, -1);
+  lookahead_[static_cast<std::size_t>(src) * k +
+             static_cast<std::size_t>(dst)] = kUnreachableNs;
+}
+
+std::int64_t ShardedSimulator::lookahead_ns(int src, int dst) const {
+  if (lookahead_.empty()) return cfg_.window.ns;
+  const auto k = static_cast<std::size_t>(cfg_.shards);
+  const std::int64_t v = lookahead_[static_cast<std::size_t>(src) * k +
+                                    static_cast<std::size_t>(dst)];
+  return v < 0 ? cfg_.window.ns : v;
 }
 
 Simulator& ShardedSimulator::shard(int s) {
@@ -55,13 +97,16 @@ void ShardedSimulator::cross_schedule(int src, int dst, RealTime at, Task cb) {
     return;
   }
   // Lookahead contract: inside a window every cross-shard timestamp must
-  // land at or beyond the next barrier, else the destination shard may
-  // already have run past it.
-  SW_EXPECTS_MSG(at.ns >= window_end_ns_,
+  // land at or beyond the bound its destination's window was granted,
+  // else the destination shard may already have run past it.
+  const std::int64_t bound = window_end_ns_[static_cast<std::size_t>(dst)];
+  SW_EXPECTS_MSG(at.ns >= bound,
                  "cross-shard event at t=" + std::to_string(at.ns) +
-                     "ns lands before the window barrier at t=" +
-                     std::to_string(window_end_ns_) +
-                     "ns; shrink the window to the cross-shard lookahead");
+                     "ns lands before shard " + std::to_string(dst) +
+                     "'s window bound at t=" + std::to_string(bound) +
+                     "ns; shrink the window / widen the declared lookahead "
+                     "floor to the pair's true minimum latency (or fall "
+                     "back to the fixed window policy)");
   auto& lane = lanes_[static_cast<std::size_t>(src) *
                           static_cast<std::size_t>(cfg_.shards) +
                       static_cast<std::size_t>(dst)];
@@ -90,7 +135,7 @@ std::size_t ShardedSimulator::lane_backlog() const {
   return n;
 }
 
-bool ShardedSimulator::merge_lanes(std::int64_t inclusive_ns) {
+bool ShardedSimulator::merge_lanes() {
   OBS_PROF_SCOPE("sharded.merge");
   merge_scratch_.clear();
   if (drain_order_.empty()) {
@@ -122,27 +167,31 @@ bool ShardedSimulator::merge_lanes(std::int64_t inclusive_ns) {
   if (merge_hist_ != nullptr) merge_hist_->record(merge_scratch_.size());
   bool any_due = false;
   for (auto& e : merge_scratch_) {
-    any_due = any_due || e.at_ns <= inclusive_ns;
-    cores_[static_cast<std::size_t>(e.dst)]->schedule_at(
-        RealTime::nanos(e.at_ns), std::move(e.task));
+    Simulator& dst = *cores_[static_cast<std::size_t>(e.dst)];
+    any_due = any_due || e.at_ns <= dst.now().ns;
+    dst.schedule_at(RealTime::nanos(e.at_ns), std::move(e.task));
   }
   merge_scratch_.clear();
   return any_due;
 }
 
-void ShardedSimulator::run_window(RealTime run_to, std::int64_t end_ns) {
-  window_end_ns_ = end_ns;
+void ShardedSimulator::run_window(const std::vector<std::int64_t>& run_to_ns,
+                                  const std::vector<char>& mask) {
   running_ = true;
   // Callbacks may throw (contract violations): catch per core, re-raise
   // on the main thread after the barrier — exceptions must not escape
   // into the pool's workers.
   std::vector<std::exception_ptr> errors(cores_.size());
-  if (pool_) {
+  std::size_t ran = 0;
+  for (const char m : mask) ran += static_cast<std::size_t>(m);
+  if (pool_ && ran > 1) {
     // Submit + wait is the barrier: on the main thread this scope is the
     // time spent waiting for the slowest core of the window.
     OBS_PROF_SCOPE("sharded.barrier_wait");
     for (std::size_t s = 0; s < cores_.size(); ++s) {
+      if (!mask[s]) continue;
       Simulator* core = cores_[s].get();
+      const RealTime run_to = RealTime::nanos(run_to_ns[s]);
       std::exception_ptr* slot = &errors[s];
       pool_->submit([core, run_to, slot] {
         try {
@@ -154,16 +203,19 @@ void ShardedSimulator::run_window(RealTime run_to, std::int64_t end_ns) {
     }
     pool_->wait_idle();
   } else {
+    // Zero or one core with work (or no pool): no join needed, run on
+    // the calling thread.
     for (std::size_t s = 0; s < cores_.size(); ++s) {
+      if (!mask[s]) continue;
       try {
-        cores_[s]->run_until(run_to);
+        cores_[s]->run_until(RealTime::nanos(run_to_ns[s]));
       } catch (...) {
         errors[s] = std::current_exception();
       }
     }
   }
   running_ = false;
-  ++barriers_;
+  if (ran > 1) ++barriers_;
   for (auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }
@@ -175,8 +227,13 @@ void ShardedSimulator::run_until(RealTime t) {
     cores_[0]->run_until(t);
     return;
   }
+  SW_EXPECTS(t.ns >= now().ns);
+  if (cfg_.policy == WindowPolicy::kAdaptive) {
+    run_until_adaptive(t);
+    return;
+  }
+  const auto k = cores_.size();
   std::int64_t base = now().ns;
-  SW_EXPECTS(t.ns >= base);
   bool done = false;
   while (!done) {
     // Idle fast-path: with no pending events anywhere and no lane
@@ -189,14 +246,111 @@ void ShardedSimulator::run_until(RealTime t) {
     const bool final_window = end == t.ns;
     // Non-final windows stop strictly before the barrier so an event at
     // exactly `end` orders after any cross-shard entry merged for `end`.
-    const RealTime run_to = RealTime::nanos(final_window ? end : end - 1);
-    run_window(run_to, end);
+    run_to_scratch_.assign(k, final_window ? end : end - 1);
+    run_mask_.assign(k, 1);
+    window_end_ns_.assign(k, end);
+    run_window(run_to_scratch_, run_mask_);
     // A cross-shard entry can land exactly at t during the final window;
     // run_until(t) is inclusive, so re-run the window until none does.
-    const bool rerun = merge_lanes(run_to.ns);
+    const bool rerun = merge_lanes();
     if (hook_) hook_(RealTime::nanos(end));
     base = end;
     done = final_window && !rerun;
+  }
+}
+
+void ShardedSimulator::run_until_adaptive(RealTime t) {
+  constexpr std::int64_t kInf = kUnreachableNs;
+  const auto k = cores_.size();
+  bool done = false;
+  while (!done) {
+    // Same idle fast-path as the fixed loop.
+    if (pending() == 0) {
+      for (auto& core : cores_) core->run_until(t);
+      break;
+    }
+    // Per-core earliest-pending-event watermarks. Lanes are empty here
+    // (merge_lanes drains fully after every window), so the wheels hold
+    // everything that is known to be pending.
+    t_min_scratch_.assign(k, kInf);
+    for (std::size_t s = 0; s < k; ++s) {
+      if (const auto next = cores_[s]->next_event_time_ns()) {
+        t_min_scratch_[s] = *next;
+      }
+    }
+    // Earliest-input-time fixpoint: the earliest a cross-shard entry
+    // could still reach core d is bounded by every other core's earliest
+    // activity — its next known event, or the earliest entry *it* could
+    // receive and react to — plus the pair's lookahead floor. Positive
+    // floors make the relaxation converge (shortest-path structure).
+    eit_scratch_.assign(k, kInf);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t d = 0; d < k; ++d) {
+        std::int64_t best = kInf;
+        for (std::size_t s = 0; s < k; ++s) {
+          if (s == d) continue;
+          const std::int64_t floor =
+              lookahead_ns(static_cast<int>(s), static_cast<int>(d));
+          if (floor == kUnreachableNs) continue;
+          const std::int64_t src_earliest =
+              std::min(t_min_scratch_[s], eit_scratch_[s]);
+          if (src_earliest == kInf) continue;
+          const std::int64_t bound =
+              src_earliest > kInf - floor ? kInf : src_earliest + floor;
+          best = std::min(best, bound);
+        }
+        if (best < eit_scratch_[d]) {
+          eit_scratch_[d] = best;
+          changed = true;
+        }
+      }
+    }
+    // Per-core window ends and run decisions. A core runs only when its
+    // bound grants it work (or the final advance to t); skipped cores
+    // keep their clocks, and their contract bound stays at that clock so
+    // entries landing behind their granted-but-unused window still
+    // deliver.
+    run_to_scratch_.assign(k, 0);
+    run_mask_.assign(k, 0);
+    window_end_ns_.assign(k, 0);
+    bool all_final = true;
+    bool extended = false;
+    std::size_t ran = 0;
+    for (std::size_t d = 0; d < k; ++d) {
+      const std::int64_t end = std::min(t.ns, eit_scratch_[d]);
+      const bool final_d = end == t.ns;
+      all_final = all_final && final_d;
+      const std::int64_t now_d = cores_[d]->now().ns;
+      const std::int64_t run_to = final_d ? end : end - 1;
+      bool run = false;
+      if (run_to >= now_d) {
+        run = final_d ? (now_d < t.ns || t_min_scratch_[d] <= t.ns)
+                      : t_min_scratch_[d] <= run_to;
+      }
+      run_mask_[d] = run ? 1 : 0;
+      run_to_scratch_[d] = run ? run_to : now_d;
+      window_end_ns_[d] = run ? end : now_d;
+      if (run) {
+        ++ran;
+        if (run_to - now_d > cfg_.window.ns) extended = true;
+      }
+    }
+    if (extended) ++adaptive_extensions_;
+    SW_EXPECTS_MSG(ran > 0 || all_final,
+                   "adaptive window fixpoint granted no core any work");
+    run_window(run_to_scratch_, run_mask_);
+    const bool rerun = merge_lanes();
+    if (hook_) {
+      // The frontier: the farthest any core has committed to.
+      std::int64_t frontier = cores_[0]->now().ns;
+      for (std::size_t s = 1; s < k; ++s) {
+        frontier = std::max(frontier, cores_[s]->now().ns);
+      }
+      hook_(RealTime::nanos(frontier));
+    }
+    done = all_final && !rerun;
   }
 }
 

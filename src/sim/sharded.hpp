@@ -11,7 +11,17 @@
 //    K cores therefore share nothing and run fully in parallel.
 //  * A window spans [B, B + window). Each core executes its events with
 //    timestamp <= B + window - 1ns, then all cores meet at a barrier
-//    (ThreadPool::wait_idle).
+//    (ThreadPool::wait_idle). Under WindowPolicy::kAdaptive each core
+//    instead gets its own window end: the earliest time any cross-shard
+//    entry could still reach it, computed from the per-core earliest-
+//    pending-event watermarks and the declared per-pair lookahead floors
+//    (set_lookahead) by the classic earliest-input-time relaxation
+//      eit[d] = min over s != d of (min(t_min[s], eit[s]) + L[s][d]),
+//    iterated to its fixpoint so reaction chains (s receives, then
+//    sends) are bounded transitively. Cores whose bound grants no work
+//    skip the window entirely; a "barrier" is only counted when two or
+//    more cores actually run (a thread join happens). The executed event
+//    orders are identical either way.
 //  * An event that must run on another shard (a cross-shard frame
 //    delivery) is not scheduled directly — the sender enqueues it into
 //    the (source-shard, destination-shard) lane via cross_schedule().
@@ -24,9 +34,10 @@
 //    thread count, and lane drain order cannot affect it.
 //
 // Correctness requires the lookahead contract: every cross-shard entry's
-// timestamp must lie at or beyond the *next* barrier, i.e. the window
-// must not exceed the minimum cross-shard latency (enforced per entry by
-// a contract check). Under that contract the sharded run executes the
+// timestamp must lie at or beyond the bound its destination's window was
+// granted — under the fixed policy the next barrier, under the adaptive
+// policy the destination's earliest-input-time (enforced per entry by a
+// contract check). Under that contract the sharded run executes the
 // same events at the same timestamps as a sequential run; ties between
 // cross-shard and shard-local events at the exact same nanosecond are the
 // only place orderings could differ, and the jittered links that feed the
@@ -40,6 +51,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -54,6 +66,22 @@ class ThreadPool;
 
 namespace stopwatch::sim {
 
+/// How the per-window barrier bound is chosen.
+enum class WindowPolicy {
+  /// Every window spans exactly the configured lookahead: next barrier at
+  /// base + window. The PR 7 behavior, and the conservative reference.
+  kFixed,
+  /// Each core's window end is pushed to the *realized* safe bound: the
+  /// earliest-input-time fixpoint over the per-core earliest-pending-
+  /// event watermarks and the per-pair lookahead floors (the uniform
+  /// `window` when none are declared). Identical event orders — windows
+  /// only widen over spans where no cross-shard entry can land, so the
+  /// same events run at the same timestamps and the per-entry contract
+  /// holds exactly as before (every send executing at ts lands at
+  /// >= ts + its pair's floor >= the destination's window end).
+  kAdaptive,
+};
+
 struct ShardedConfig {
   /// Number of independent simulator cores (>= 1).
   int shards{1};
@@ -61,9 +89,15 @@ struct ShardedConfig {
   /// minimum cross-shard event latency (the lookahead). The topology
   /// layer derives this from the link models; tests set it directly.
   Duration window{Duration::micros(100)};
-  /// Worker threads: 0 means one per shard. 1 runs every window inline
-  /// on the calling thread (same results — useful for debugging).
+  /// Worker threads: 0 auto-sizes to min(shards, host cores) — a 1-CPU
+  /// host gets the inline path, and an 8-shard run on a 4-core host
+  /// gets 4 workers instead of 8 thrashing ones. 1 runs every window
+  /// inline on the calling thread (same results — useful for
+  /// debugging; results never depend on the thread count).
   std::size_t threads{0};
+  /// Barrier placement policy. kFixed is the kernel default; the cloud
+  /// layer defaults to kAdaptive (CloudConfig::shard_window_policy).
+  WindowPolicy policy{WindowPolicy::kFixed};
 };
 
 /// K simulator cores + deterministic cross-shard lanes + barrier loop.
@@ -79,6 +113,23 @@ class ShardedSimulator {
   [[nodiscard]] Duration window() const { return cfg_.window; }
   /// Adjusts the barrier window. Must not be called mid-run.
   void set_window(Duration w);
+  [[nodiscard]] WindowPolicy window_policy() const { return cfg_.policy; }
+  /// Switches the barrier placement policy. Must not be called mid-run.
+  void set_window_policy(WindowPolicy policy);
+
+  /// Declares the minimum latency of cross-shard traffic from `src` to
+  /// `dst`: no event executing on `src` at time ts may cross_schedule an
+  /// entry for `dst` earlier than ts + floor. Pairs without a declared
+  /// floor fall back to the uniform window. Only the adaptive policy
+  /// reads these; the per-entry contract validates every cross event
+  /// against the bound actually granted, so an optimistic declaration
+  /// fails loudly instead of corrupting the merge order.
+  void set_lookahead(int src, int dst, Duration floor);
+  /// Declares that `src` never sends cross-shard traffic to `dst` (the
+  /// pair places no bound on `dst`'s window). An entry on the pair still
+  /// delivers correctly when it lands beyond the granted bound — and
+  /// throws when it does not.
+  void set_lookahead_unreachable(int src, int dst);
 
   [[nodiscard]] Simulator& shard(int s);
   [[nodiscard]] const Simulator& shard(int s) const;
@@ -107,8 +158,17 @@ class ShardedSimulator {
   [[nodiscard]] std::size_t pending() const;
   /// Total entries handed across shards via cross_schedule.
   [[nodiscard]] std::uint64_t cross_scheduled() const { return crossed_; }
-  /// Barriers executed (windows run) so far.
+  /// Barriers executed so far: windows in which two or more cores ran
+  /// and met at a thread join. (Adaptive rounds that run a single
+  /// lagging core inline are not barriers — no join happens.)
   [[nodiscard]] std::uint64_t barriers() const { return barriers_; }
+  /// Windows in which the adaptive policy granted some core a bound more
+  /// than one uniform window past its position (each one stands in for
+  /// at least one barrier the fixed policy would have paid). Always 0
+  /// under WindowPolicy::kFixed.
+  [[nodiscard]] std::uint64_t adaptive_extensions() const {
+    return adaptive_extensions_;
+  }
   /// Largest single-barrier merge batch seen (peak cross-shard lane
   /// depth at a barrier).
   [[nodiscard]] std::uint64_t max_merge_batch() const {
@@ -148,13 +208,26 @@ class ShardedSimulator {
   };
 
   /// Drains and merge-schedules every lane; returns true if any entry
-  /// landed at or before `inclusive_ns` (only possible at a final
-  /// window, where it forces a re-run).
-  bool merge_lanes(std::int64_t inclusive_ns);
-  /// One barrier window: runs every core to `run_to` on the pool (or
-  /// inline), collecting callback exceptions for re-raise on this thread.
-  void run_window(RealTime run_to, std::int64_t end_ns);
+  /// landed at or before its destination core's current clock (only
+  /// possible at a final window, where it forces a re-run).
+  bool merge_lanes();
+  /// One window: runs every core whose `mask` entry is set to its
+  /// `run_to_ns` entry on the pool (inline when only one runs),
+  /// collecting callback exceptions for re-raise on this thread.
+  /// Counts a barrier when two or more cores ran. `window_end_ns_` must
+  /// already hold the per-destination bounds for the contract check.
+  void run_window(const std::vector<std::int64_t>& run_to_ns,
+                  const std::vector<char>& mask);
+  /// The adaptive barrier loop: per-core window ends from the
+  /// earliest-input-time fixpoint over watermarks + lookahead floors.
+  void run_until_adaptive(RealTime t);
+  /// The declared floor for src -> dst entries (window.ns when the pair
+  /// has none), or kUnreachableNs.
+  [[nodiscard]] std::int64_t lookahead_ns(int src, int dst) const;
   [[nodiscard]] std::size_t lane_backlog() const;
+
+  static constexpr std::int64_t kUnreachableNs =
+      std::numeric_limits<std::int64_t>::max();
 
   ShardedConfig cfg_;
   std::vector<std::unique_ptr<Simulator>> cores_;
@@ -168,13 +241,23 @@ class ShardedSimulator {
   BarrierHook hook_;
   std::uint64_t crossed_{0};
   std::uint64_t barriers_{0};
+  std::uint64_t adaptive_extensions_{0};
   std::uint64_t max_merge_batch_{0};
   obs::Histogram* merge_hist_{nullptr};
   bool running_{false};
-  /// Set while a window's workers run; cross_schedule validates its
-  /// timestamps against this (the next barrier).
-  std::int64_t window_end_ns_{0};
+  /// Per-destination bounds for the window in flight; cross_schedule
+  /// validates each entry's timestamp against its destination's slot.
+  /// Written single-threaded before the workers start.
+  std::vector<std::int64_t> window_end_ns_;
+  /// Flattened [src * shards + dst] per-pair floors; empty until the
+  /// first set_lookahead, -1 entries fall back to cfg_.window.
+  std::vector<std::int64_t> lookahead_;
   std::vector<LaneEntry> merge_scratch_;
+  // Adaptive-round scratch (sized shards, reused across rounds).
+  std::vector<std::int64_t> t_min_scratch_;
+  std::vector<std::int64_t> eit_scratch_;
+  std::vector<std::int64_t> run_to_scratch_;
+  std::vector<char> run_mask_;
 };
 
 }  // namespace stopwatch::sim

@@ -296,6 +296,11 @@ bool Simulator::prepare_next() {
   }
 }
 
+std::optional<std::int64_t> Simulator::next_event_time_ns() {
+  if (!prepare_next()) return std::nullopt;
+  return due_front().at_ns;
+}
+
 void Simulator::flush_bucket(int level, std::uint32_t bucket) {
   // Detach the bucket, then refile each record relative to the (already
   // advanced) cursor: a level-0 bucket harvests straight into the due heap

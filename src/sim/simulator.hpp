@@ -156,6 +156,13 @@ class Simulator {
   /// lazily popped). A batch counts as one pending event.
   [[nodiscard]] std::size_t pending() const { return live_; }
 
+  /// Timestamp of the earliest pending event, or nullopt when nothing is
+  /// pending. Non-const: it may advance the wheel cursor (draining wheel
+  /// buckets / the far heap into the due heap) to find the front, but it
+  /// never fires anything and never moves now(). This is the per-core
+  /// watermark the sharded kernel's adaptive barrier window reads.
+  [[nodiscard]] std::optional<std::int64_t> next_event_time_ns();
+
   /// Size of the slab arena (live + free slots) — the churn tests assert
   /// this stays flat while events are recycled.
   [[nodiscard]] std::size_t arena_slots() const { return slab_size_; }

@@ -15,6 +15,7 @@ TopologyBuilder::TopologyBuilder(sim::Simulator& sim, net::Network& net,
       policy_(hypervisor::make_policy(cfg.policy)),
       trace_(obs::active_trace()),
       sim_(&sim),
+      egress_core_(&sim),
       net_(&net),
       table_(sim, net,
              MachineTableConfig{cfg.machine_count, cfg.shard_size, cfg.seed,
@@ -267,12 +268,13 @@ void TopologyBuilder::attach_sharding(
                  "attach_sharding must run before any machine materializes");
   SW_EXPECTS_MSG(plan.shards() == sharded.shard_count(),
                  "shard plan built for a different shard count");
-  SW_EXPECTS_MSG(!egress_tap_ || sharded.shard_count() == 1,
-                 "egress tap is incompatible with shard_count > 1: replica "
-                 "sends would fire it concurrently from worker threads");
   sharded_ = &sharded;
   plan_ = std::move(plan);
   table_.set_sharding(sharded_, &plan_);
+  // The egress gateway leaves core 0: its node delivers — and its clock
+  // reads and hold releases run — on the plan's egress shard.
+  egress_core_ = &sharded_->shard(plan_.egress_shard());
+  net_->set_node_owner(egress_node_, plan_.egress_shard());
 
   // Wire the activation set in index order — deterministic regardless of
   // the order the caller discovered the VMs in — then lock it.
@@ -288,13 +290,34 @@ void TopologyBuilder::attach_sharding(
                          plan_.shard_of_machine(vms_[vm].machines.front()));
   }
   activation_locked_ = true;
+  SW_EXPECTS_MSG(!egress_tap_ || sharded_->shard_count() == 1 ||
+                     policy_->tunnels_output() || wired_vms_on_one_shard(),
+                 "egress tap is not single-writer under this sharding: the "
+                 "policy does not tunnel output, so replica sends fire the "
+                 "tap from every shard hosting an active VM");
+}
+
+bool TopologyBuilder::wired_vms_on_one_shard() const {
+  int owner = -1;
+  for (const auto& vm : vms_) {
+    if (!vm.wired) continue;
+    const int o = plan_.shard_of_machine(vm.machines.front());
+    if (owner == -1) {
+      owner = o;
+    } else if (o != owner) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void TopologyBuilder::set_egress_tap(EgressTap tap) {
   SW_EXPECTS_MSG(tap == nullptr || sharded_ == nullptr ||
-                     sharded_->shard_count() == 1,
-                 "egress tap is incompatible with shard_count > 1: replica "
-                 "sends would fire it concurrently from worker threads");
+                     sharded_->shard_count() == 1 ||
+                     policy_->tunnels_output() || wired_vms_on_one_shard(),
+                 "egress tap is not single-writer under this sharding: the "
+                 "policy does not tunnel output, so replica sends fire the "
+                 "tap from every shard hosting an active VM");
   egress_tap_ = std::move(tap);
 }
 
@@ -454,13 +477,13 @@ void TopologyBuilder::on_egress_frame(const net::Frame& frame) {
   auto& slot = entry.egress_slots[out->out_seq];
   if (slot.copies == 0) {
     slot.hash = out->content_hash;
-    slot.first_copy_ns = sim_->now().ns;
+    slot.first_copy_ns = egress_core_->now().ns;
   } else if (slot.hash != out->content_hash) {
     ++entry.egress_stats.hash_mismatches;
   }
   ++slot.copies;
   if (egress_track_ != nullptr) {
-    egress_track_->instant(sim_->now().ns, "replica_copy", "vm",
+    egress_track_->instant(egress_core_->now().ns, "replica_copy", "vm",
                            out->vm.value);
   }
 
@@ -475,23 +498,23 @@ void TopologyBuilder::on_egress_frame(const net::Frame& frame) {
     slot.released = true;
     ++entry.egress_stats.packets_released;
     const Duration hold =
-        policy_->egress_release_delay(out->vm.value, sim_->now());
+        policy_->egress_release_delay(out->vm.value, egress_core_->now());
     if (egress_series_ != nullptr) {
       // Sample at gating time for both the inline and the held path: the
       // release instant is already decided here, so the rollup stays a
       // pure function of sim time (byte-identical across shard counts).
       const std::int64_t released_at =
-          sim_->now().ns + std::max<std::int64_t>(hold.ns, 0);
+          egress_core_->now().ns + std::max<std::int64_t>(hold.ns, 0);
       egress_series_->record(
           released_at,
           static_cast<std::uint64_t>(released_at - slot.first_copy_ns));
     }
     if (hold.ns <= 0) {
       if (egress_track_ != nullptr) {
-        egress_track_->instant(sim_->now().ns, "release", "vm",
+        egress_track_->instant(egress_core_->now().ns, "release", "vm",
                                out->vm.value);
       }
-      if (egress_tap_) egress_tap_(out->vm.value, sim_->now(), out->pkt);
+      if (egress_tap_) egress_tap_(out->vm.value, egress_core_->now(), out->pkt);
       net::Frame f;
       f.src = egress_node_;
       f.dst = out->pkt.dst;
@@ -502,15 +525,15 @@ void TopologyBuilder::on_egress_frame(const net::Frame& frame) {
       if (egress_track_ != nullptr) {
         // The hold is the attacker-relevant quantity: the span runs from
         // the gating copy's arrival to the policy's release instant.
-        egress_track_->complete(sim_->now().ns, hold.ns, "egress_hold", "vm",
+        egress_track_->complete(egress_core_->now().ns, hold.ns, "egress_hold", "vm",
                                 out->vm.value);
       }
       const std::uint32_t vm_index = out->vm.value;
-      sim_->schedule_after(hold, [this, vm_index, pkt = out->pkt] {
+      egress_core_->schedule_after(hold, [this, vm_index, pkt = out->pkt] {
         if (egress_track_ != nullptr) {
-          egress_track_->instant(sim_->now().ns, "release", "vm", vm_index);
+          egress_track_->instant(egress_core_->now().ns, "release", "vm", vm_index);
         }
-        if (egress_tap_) egress_tap_(vm_index, sim_->now(), pkt);
+        if (egress_tap_) egress_tap_(vm_index, egress_core_->now(), pkt);
         net::Frame f;
         f.src = egress_node_;
         f.dst = pkt.dst;

@@ -114,17 +114,23 @@ class TopologyBuilder {
   /// plan assigns it, and the listed VMs — the activation set — are wired
   /// up front, in index order. Afterwards the set is LOCKED: traffic
   /// reaching a VM outside it would have to materialize machines from a
-  /// worker thread mid-window, so that path throws instead. Requires
+  /// worker thread mid-window, so that path throws instead. The egress
+  /// gateway moves to the plan's egress_shard() — the least-loaded core,
+  /// never core 0 on a balanced multi-shard plan. Requires
   /// WiringMode::kLazy with nothing materialized yet (eager mode builds
-  /// everything on one core in the constructor), and no egress tap when
-  /// shard_count > 1 (the tap would fire concurrently from worker threads).
+  /// everything on one core in the constructor). An installed egress tap
+  /// is allowed across >1 shard iff it stays single-writer: the policy
+  /// tunnels output (the tap fires only on the egress core), or the whole
+  /// activation set lives on one shard (non-tunneled sends fire it only
+  /// from that core).
   void attach_sharding(sim::ShardedSimulator& sharded, ShardPlan plan,
                        const std::vector<std::uint32_t>& active_vms);
 
   /// Installs (or, with nullptr, removes) the egress release observer used
   /// by the leakage subsystem's TimingTap. At most one tap is active; the
-  /// tap sees releases of every VM and filters by index itself. Rejected
-  /// when sharded across >1 core: replica sends fire it from worker threads.
+  /// tap sees releases of every VM and filters by index itself. Across
+  /// >1 shard the tap must stay single-writer (see attach_sharding);
+  /// installing one that would not be is rejected.
   void set_egress_tap(EgressTap tap);
   [[nodiscard]] bool has_egress_tap() const {
     return static_cast<bool>(egress_tap_);
@@ -134,8 +140,9 @@ class TopologyBuilder {
   /// one sample per egress release: the span from the first replica copy's
   /// arrival at the gate to the policy's release instant, in ns, keyed by
   /// the release time. Written only from the egress node's owner core
-  /// (core 0) — the same single-writer discipline as egress_track_ — so
-  /// the series is byte-identical across shard counts.
+  /// (the plan's egress shard when sharded) — the same single-writer
+  /// discipline as egress_track_ — so the series is byte-identical across
+  /// shard counts.
   void set_egress_latency_series(obs::TimeSeries* series) {
     egress_series_ = series;
   }
@@ -215,6 +222,9 @@ class TopologyBuilder {
   void boot(VmEntry& entry);
   /// The simulator core that owns `machine` (sim_ when unsharded).
   [[nodiscard]] sim::Simulator& core_of_machine(int machine);
+  /// True if every wired VM's replicas live on one shard — the condition
+  /// under which a non-tunneling policy's egress tap stays single-writer.
+  [[nodiscard]] bool wired_vms_on_one_shard() const;
   void on_addr_frame(std::uint32_t vm_index, const net::Frame& frame);
   void on_ingress_packet(std::uint32_t vm_index, const net::Packet& pkt);
   void on_machine_frame(int machine_idx, const net::Frame& frame);
@@ -227,12 +237,16 @@ class TopologyBuilder {
   /// once so every track this topology creates shares one recorder.
   obs::TraceRecorder* trace_;
   /// Egress-gate track (pid 0/tid 0): replica copies, holds, releases.
-  /// Written only from the egress node's owner core (core 0).
+  /// Written only from the egress node's owner core (the egress shard).
   obs::TraceTrack* egress_track_{nullptr};
   /// Release-latency rollups (null = off); single-writer, see setter.
   obs::TimeSeries* egress_series_{nullptr};
   EgressTap egress_tap_;
   sim::Simulator* sim_;
+  /// The core owning the egress gateway: sim_ until attach_sharding moves
+  /// it to the plan's egress shard. All egress-gate clock reads and hold
+  /// scheduling go through this core, never sim_ directly.
+  sim::Simulator* egress_core_;
   sim::ShardedSimulator* sharded_{nullptr};
   ShardPlan plan_;
   /// Set by attach_sharding once the activation set is wired: any further

@@ -97,6 +97,15 @@ ShardPlan ShardPlan::build(
     plan.loads_[static_cast<std::size_t>(target)] +=
         static_cast<int>(component.machines.size());
   }
+  // Egress + external clients go to the least-loaded shard, ties to the
+  // highest index: with shards > 1 that is never shard 0 when loads are
+  // balanced, which removes the historical core-0 egress funnel.
+  for (int s = 1; s < shards; ++s) {
+    if (plan.loads_[static_cast<std::size_t>(s)] <=
+        plan.loads_[static_cast<std::size_t>(plan.egress_shard_)]) {
+      plan.egress_shard_ = s;
+    }
+  }
   return plan;
 }
 

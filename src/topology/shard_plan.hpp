@@ -40,12 +40,18 @@ class ShardPlan {
   [[nodiscard]] int component_count() const { return components_; }
   /// Machines per shard, planned components only (balance diagnostics).
   [[nodiscard]] const std::vector<int>& shard_loads() const { return loads_; }
+  /// Shard that owns the egress gateway and the external-client nodes:
+  /// the least-loaded shard after the component deal, ties to the
+  /// *highest* index — non-zero whenever shards > 1, so egress traffic
+  /// stops funneling through core 0. 0 for the trivial plan.
+  [[nodiscard]] int egress_shard() const { return egress_shard_; }
 
  private:
   int shards_{1};
   std::vector<int> machine_shard_;  // -1 = unplanned (round-robin fallback)
   std::vector<int> loads_;
   int components_{0};
+  int egress_shard_{0};
 };
 
 }  // namespace stopwatch::topology

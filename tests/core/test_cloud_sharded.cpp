@@ -123,14 +123,75 @@ TEST(CloudSharded, TrafficOutsideTheActivationSetThrows) {
   EXPECT_THROW(cloud.run_for(Duration::millis(50)), ContractViolation);
 }
 
-TEST(CloudSharded, EgressTapRejectedAcrossShards) {
+TEST(CloudSharded, TunnelingPolicyTapAllowedAcrossShards) {
+  // StopWatch tunnels guest output through the egress gate, so the tap
+  // fires only on the egress owner core — single-writer, even sharded.
   Cloud cloud(sharded_config(2));
   const VmHandle vm = cloud.add_vm(
       "echo", [] { return std::make_unique<EchoProgram>(); }, {0, 1, 2});
   cloud.activate_sharded({vm});
+  cloud.set_egress_tap([](std::uint32_t, RealTime, const net::Packet&) {});
+  EXPECT_TRUE(cloud.has_egress_tap());
+}
+
+TEST(CloudSharded, NonTunnelingTapRejectedWhenVmsSpanShards) {
+  // Baseline Xen emits output from the replica send path — with active
+  // VMs on two shards the tap would fire from two worker threads.
+  CloudConfig cfg = sharded_config(2);
+  cfg.policy = Policy::kBaselineXen;
+  Cloud cloud(cfg);
+  const VmHandle a = cloud.add_vm(
+      "a", [] { return std::make_unique<EchoProgram>(); }, {0});
+  const VmHandle b = cloud.add_vm(
+      "b", [] { return std::make_unique<EchoProgram>(); }, {1});
+  cloud.activate_sharded({a, b});
   EXPECT_THROW(
       cloud.set_egress_tap([](std::uint32_t, RealTime, const net::Packet&) {}),
       ContractViolation);
+}
+
+TEST(CloudSharded, NonTunnelingTapPreinstalledRejectedAtActivation) {
+  CloudConfig cfg = sharded_config(2);
+  cfg.policy = Policy::kBaselineXen;
+  Cloud cloud(cfg);
+  cloud.set_egress_tap([](std::uint32_t, RealTime, const net::Packet&) {});
+  const VmHandle a = cloud.add_vm(
+      "a", [] { return std::make_unique<EchoProgram>(); }, {0});
+  const VmHandle b = cloud.add_vm(
+      "b", [] { return std::make_unique<EchoProgram>(); }, {1});
+  EXPECT_THROW(cloud.activate_sharded({a, b}), ContractViolation);
+}
+
+TEST(CloudSharded, NonTunnelingTapAllowedWhenActiveSetSharesAShard) {
+  // One active VM -> one owner shard -> the replica send path is a single
+  // writer even though shard_count > 1.
+  CloudConfig cfg = sharded_config(2);
+  cfg.policy = Policy::kBaselineXen;
+  Cloud cloud(cfg);
+  const VmHandle a = cloud.add_vm(
+      "a", [] { return std::make_unique<EchoProgram>(); }, {0});
+  cloud.activate_sharded({a});
+  cloud.set_egress_tap([](std::uint32_t, RealTime, const net::Packet&) {});
+  EXPECT_TRUE(cloud.has_egress_tap());
+}
+
+TEST(CloudSharded, EgressAndExternalsLeaveCoreZero) {
+  Cloud cloud(sharded_config(2));
+  const NodeId client =
+      cloud.add_external_node("client", [](const net::Packet&) {});
+  const VmHandle vm = cloud.add_vm(
+      "echo", [] { return std::make_unique<EchoProgram>(); }, {0, 1, 2});
+  cloud.activate_sharded({vm});
+  const int egress = cloud.topology().shard_plan().egress_shard();
+  EXPECT_GT(egress, 0);  // the single component fills shard 0
+  EXPECT_EQ(cloud.network().node_owner(cloud.egress_node()), egress);
+  EXPECT_EQ(cloud.network().node_owner(client), egress);
+  // The driver core follows: external scheduling stays on the owner core.
+  EXPECT_EQ(&cloud.simulator(), &cloud.sharded().shard(egress));
+  // Externals registered after activation land there directly too.
+  const NodeId late =
+      cloud.add_external_node("late", [](const net::Packet&) {});
+  EXPECT_EQ(cloud.network().node_owner(late), egress);
 }
 
 TEST(CloudSharded, RejectsNonPositiveShardCount) {

@@ -90,6 +90,39 @@ TEST(LeakageScenarios, WorkloadsReportBitsPerWorkloadAndPolicy) {
   }
 }
 
+TEST(LeakageScenarios, WorkloadShardCountsByteIdentical) {
+  // The sim_shards knob spread to leakage_workloads: every per-workload
+  // cloud runs on the configured simulator cores, and the report stays
+  // byte-identical outside the stamped parameter and the observability
+  // block (whose memory gauges are not shard-dependent here, but the
+  // block is stripped for symmetry with placement_e2e).
+  const auto run_with = [](const std::string& shards) {
+    Result r = ScenarioRegistry::instance().run(
+        "leakage_workloads", /*seed=*/13, /*smoke=*/true,
+        {{"trials_per_class", "3"},
+         {"parsec_trials", "2"},
+         {"nfs_window_s", "0.3"},
+         {"nfs_rounds", "1"},
+         {"sim_shards", shards}});
+    std::string json = r.to_json();
+    const std::string block = ",\n  \"observability\"";
+    const std::size_t block_at = json.find(block);
+    EXPECT_NE(block_at, std::string::npos);
+    if (block_at != std::string::npos) {
+      json.erase(block_at);
+      json += "\n}";
+    }
+    const std::string stamp = "\"sim_shards\": " + shards;
+    const std::size_t at = json.find(stamp);
+    EXPECT_NE(at, std::string::npos) << json.substr(0, 400);
+    json.replace(at, stamp.size(), "\"sim_shards\": _");
+    return json;
+  };
+  const std::string one = run_with("1");
+  const std::string three = run_with("3");
+  EXPECT_EQ(one, three);
+}
+
 TEST(LeakageScenarios, JobsEightByteIdenticalToSequential) {
   const auto& registry = ScenarioRegistry::instance();
   std::vector<const Scenario*> selected = {

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "experiment/registry.hpp"
@@ -111,6 +113,72 @@ TEST(PlacementE2e, ShardCountsByteIdentical) {
   const std::string one = run_with("1");
   const std::string four = run_with("4");
   EXPECT_EQ(one, four);
+}
+
+TEST(PlacementE2e, WindowPoliciesByteIdentical) {
+  // The PR 10 tentpole guarantee: the adaptive barrier window changes how
+  // far each window reaches, never what executes in it — fixed and
+  // adaptive runs of the same sharded cloud serialize to the same bytes
+  // outside the stamped parameter and the observability block.
+  const auto run_with = [](const std::string& policy) {
+    Result r = ScenarioRegistry::instance().run(
+        "placement_e2e", /*seed=*/11, /*smoke=*/true,
+        {{"machines", "99"},
+         {"driven_vms", "8"},
+         {"run_time_s", "0.4"},
+         {"pair_samples", "2000"},
+         {"sim_shards", "4"},
+         {"shard_window", policy}});
+    std::string json = r.to_json();
+    const std::string block = ",\n  \"observability\"";
+    const std::size_t block_at = json.find(block);
+    EXPECT_NE(block_at, std::string::npos);
+    if (block_at != std::string::npos) {
+      json.erase(block_at);
+      json += "\n}";
+    }
+    const std::string stamp = "\"shard_window\": \"" + policy + "\"";
+    const std::size_t at = json.find(stamp);
+    EXPECT_NE(at, std::string::npos) << json.substr(0, 400);
+    json.replace(at, stamp.size(), "\"shard_window\": _");
+    return json;
+  };
+  const std::string fixed = run_with("fixed");
+  const std::string adaptive = run_with("adaptive");
+  EXPECT_EQ(fixed, adaptive);
+}
+
+TEST(PlacementE2e, AdaptiveWindowCutsBarriersThreefold) {
+  // The perf claim behind the adaptive default, asserted on the scenario's
+  // own observability counters: on the 4-core smoke run the adaptive bound
+  // crosses idle stretches in one window, cutting barrier count >= 3x
+  // while executing the same events.
+  const auto counters_with = [](const std::string& policy) {
+    const Result r = ScenarioRegistry::instance().run(
+        "placement_e2e", /*seed=*/11, /*smoke=*/true,
+        {{"machines", "99"},
+         {"driven_vms", "8"},
+         {"run_time_s", "0.4"},
+         {"pair_samples", "2000"},
+         {"sim_shards", "4"},
+         {"shard_window", policy}});
+    const auto counter = [&r](const std::string& name) -> std::uint64_t {
+      for (const auto& [n, v] : r.observability().counters) {
+        if (n == name) return v;
+      }
+      ADD_FAILURE() << "missing counter " << name;
+      return 0;
+    };
+    return std::pair{counter("sharded.barriers"),
+                     counter("sharded.adaptive_extensions")};
+  };
+  const auto [fixed_barriers, fixed_ext] = counters_with("fixed");
+  const auto [adaptive_barriers, adaptive_ext] = counters_with("adaptive");
+  EXPECT_EQ(fixed_ext, 0u);
+  EXPECT_GT(adaptive_ext, 0u);
+  ASSERT_GT(adaptive_barriers, 0u);
+  EXPECT_GE(fixed_barriers, 3 * adaptive_barriers)
+      << "fixed=" << fixed_barriers << " adaptive=" << adaptive_barriers;
 }
 
 TEST(PlacementE2e, GreedyPlacementModeRunsArbitraryN) {

@@ -39,9 +39,10 @@ struct DiffHarness {
   };
 
   DiffHarness(int shards, int entities, std::uint64_t seed,
-              std::size_t threads = 0)
+              std::size_t threads = 0,
+              WindowPolicy policy = WindowPolicy::kFixed)
       : entities_(entities),
-        sim_({shards, kWindow, threads}),
+        sim_({shards, kWindow, threads, policy}),
         logs_(static_cast<std::size_t>(entities)),
         ticks_(static_cast<std::size_t>(entities), 0),
         sent_(static_cast<std::size_t>(entities), 0) {
@@ -206,6 +207,89 @@ TEST(ShardedSimulator, DifferentialRandomizedStress) {
                 sharded.sim_.events_executed());
     }
   }
+}
+
+TEST(ShardedSimulator, AdaptiveWindowMatchesFixedOnRandomizedStress) {
+  // The adaptive barrier bound must be invisible in the event orders: the
+  // same stress workloads, fixed vs adaptive, with real worker threads —
+  // identical logs, never more barriers, and (on this dense workload)
+  // at least some windows extended past the fixed bound.
+  const RealTime horizon = RealTime::nanos(400'000);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (int shards : {2, 4}) {
+      DiffHarness fixed(shards, 12, seed);
+      fixed.sim_.run_until(horizon);
+      DiffHarness adaptive(shards, 12, seed, /*threads=*/0,
+                           WindowPolicy::kAdaptive);
+      adaptive.sim_.run_until(horizon);
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " shards=" + std::to_string(shards));
+      expect_logs_equal(fixed, adaptive);
+      EXPECT_EQ(fixed.sim_.events_executed(), adaptive.sim_.events_executed());
+      EXPECT_LE(adaptive.sim_.barriers(), fixed.sim_.barriers());
+      EXPECT_GT(adaptive.sim_.adaptive_extensions(), 0u);
+      EXPECT_EQ(fixed.sim_.adaptive_extensions(), 0u);
+    }
+  }
+}
+
+TEST(ShardedSimulator, AdaptiveWindowCrossesIdleGapsInOneBarrier) {
+  // Ten bursts separated by 500 idle windows: the fixed policy pays a
+  // barrier per window while events remain pending; the adaptive policy
+  // jumps each gap in one window.
+  const auto build = [](WindowPolicy policy) {
+    auto sim = std::make_unique<ShardedSimulator>(
+        ShardedConfig{2, kWindow, 1, policy});
+    auto delivered = std::make_shared<std::vector<std::int64_t>>();
+    for (int k = 0; k < 10; ++k) {
+      const std::int64_t at = k * 500 * kWindow.ns + 2;
+      sim->shard(0).schedule_at(
+          RealTime::nanos(at), [sim = sim.get(), delivered, at] {
+            sim->cross_schedule(0, 1, RealTime::nanos(at + kWindow.ns + 1),
+                                [sim, delivered] {
+                                  delivered->push_back(sim->shard(1).now().ns);
+                                });
+          });
+    }
+    return std::pair{std::move(sim), delivered};
+  };
+  auto [fixed, fixed_log] = build(WindowPolicy::kFixed);
+  auto [adaptive, adaptive_log] = build(WindowPolicy::kAdaptive);
+  const RealTime horizon = RealTime::nanos(10 * 500 * kWindow.ns);
+  fixed->run_until(horizon);
+  adaptive->run_until(horizon);
+  EXPECT_EQ(*fixed_log, *adaptive_log);
+  EXPECT_EQ(fixed_log->size(), 10u);
+  EXPECT_GT(adaptive->adaptive_extensions(), 0u);
+  // ~500 fixed windows vs ~2-3 barriers per burst adaptive.
+  EXPECT_GE(fixed->barriers(), 10 * adaptive->barriers());
+}
+
+TEST(ShardedSimulator, AdaptiveLookaheadViolationThrows) {
+  // A send legal under the fixed bound but behind the adaptive barrier:
+  // shard 1 has its own work, so the adaptive policy grants it a window
+  // reaching t_min(shard 0) + lookahead, and shard 0's entry lands one
+  // nanosecond behind that bound. The contract tracks the *realized*
+  // per-destination window end, so the violation must be caught, not
+  // silently reordered. (Without local work shard 1 would skip the
+  // window, keep its clock, and the late entry would deliver safely —
+  // the contract only rejects what could actually misorder.)
+  const auto drive = [](ShardedSimulator& sharded) {
+    sharded.shard(1).schedule_at(RealTime::nanos(50), [] {});
+    sharded.shard(1).schedule_at(RealTime::nanos(200), [] {});
+    sharded.shard(0).schedule_at(RealTime::nanos(100), [&sharded] {
+      sharded.cross_schedule(0, 1, RealTime::nanos(100 + kWindow.ns - 1),
+                             [] {});
+    });
+  };
+  ShardedSimulator fixed({2, kWindow, 1});
+  drive(fixed);
+  EXPECT_NO_THROW(fixed.run_until(RealTime::nanos(20'000)));
+
+  ShardedSimulator adaptive({2, kWindow, 1, WindowPolicy::kAdaptive});
+  drive(adaptive);
+  EXPECT_THROW(adaptive.run_until(RealTime::nanos(20'000)),
+               ContractViolation);
 }
 
 TEST(ShardedSimulator, BarrierCutsArePrefixesOfTheSequentialRun) {
